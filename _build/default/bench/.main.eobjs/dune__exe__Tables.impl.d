@@ -1,0 +1,1 @@
+bench/tables.ml: Bytes Dr_analysis Dr_baselines Dr_bus Dr_interp Dr_lang Dr_mil Dr_opt Dr_sim Dr_state Dr_transform Dr_workloads Dynrecon Fmt List Option Printf String

@@ -1,0 +1,375 @@
+(* drc — the dynamic-reconfiguration platform's command-line tool.
+
+     drc transform module.mp --point proc:R      instrument a module
+     drc graph module.mp --point proc:R          reconfiguration graph
+     drc callgraph module.mp                     static call graph
+     drc check --mil app.mil --src m=path ...    validate a configuration
+     drc run --mil app.mil --src m=path --app a  deploy and simulate
+     drc exec module.mp                          run one module standalone *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_program_file path =
+  try Ok (Dr_lang.Parser.parse_program (read_file path)) with
+  | Dr_lang.Parser.Error (message, line) ->
+    Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Dr_lang.Lexer.Error (message, line) ->
+    Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Sys_error e -> Error e
+
+let parse_point spec =
+  match String.split_on_char ':' spec with
+  | [ proc; label ] when proc <> "" && label <> "" ->
+    Ok { Dr_transform.Instrument.pt_proc = proc; pt_label = label; pt_vars = None }
+  | _ -> Error (`Msg (Printf.sprintf "bad point %S: expected proc:label" spec))
+
+let point_conv =
+  Arg.conv
+    ( (fun s -> parse_point s),
+      fun ppf p ->
+        Fmt.pf ppf "%s:%s" p.Dr_transform.Instrument.pt_proc
+          p.Dr_transform.Instrument.pt_label )
+
+let parse_source_binding spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+    Ok (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  | None -> Error (`Msg (Printf.sprintf "bad source %S: expected module=path" spec))
+
+let src_conv =
+  Arg.conv
+    ( (fun s -> parse_source_binding s),
+      fun ppf (m, p) -> Fmt.pf ppf "%s=%s" m p )
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniProc source file.")
+
+let points_arg =
+  Arg.(
+    value & opt_all point_conv []
+    & info [ "point"; "p" ] ~docv:"PROC:LABEL"
+        ~doc:"Reconfiguration point (repeatable).")
+
+let liveness_arg =
+  Arg.(
+    value & flag
+    & info [ "liveness" ]
+        ~doc:"Trim capture sets with live-variable analysis (paper §3's \
+              suggested refinement).")
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("error: " ^ e);
+    exit 1
+
+(* ------------------------------------------------------------ transform *)
+
+let transform_cmd =
+  let run file points liveness =
+    let program = or_die (parse_program_file file) in
+    let options = { Dr_transform.Instrument.default_options with use_liveness = liveness } in
+    match Dr_transform.Instrument.prepare ~options program ~points with
+    | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+    | Ok prepared ->
+      print_string
+        (Dr_lang.Pretty.program_to_string prepared.Dr_transform.Instrument.prepared_program)
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Prepare a module for reconfiguration (emit instrumented source).")
+    Term.(const run $ file_arg $ points_arg $ liveness_arg)
+
+(* ---------------------------------------------------------------- graph *)
+
+let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz.")
+
+let graph_cmd =
+  let run file points dot =
+    let program = or_die (parse_program_file file) in
+    let pts =
+      List.map
+        (fun p -> (p.Dr_transform.Instrument.pt_proc, p.Dr_transform.Instrument.pt_label))
+        points
+    in
+    match Dr_analysis.Reconfig_graph.build program ~points:pts with
+    | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+    | Ok graph ->
+      if dot then print_string (Dr_analysis.Reconfig_graph.to_dot graph)
+      else Fmt.pr "%a@." Dr_analysis.Reconfig_graph.pp graph
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Build and print the reconfiguration graph (Fig. 6).")
+    Term.(const run $ file_arg $ points_arg $ dot_arg)
+
+let callgraph_cmd =
+  let run file dot =
+    let program = or_die (parse_program_file file) in
+    let graph = Dr_analysis.Callgraph.build program in
+    if dot then print_string (Dr_analysis.Callgraph.to_dot graph)
+    else
+      List.iter
+        (fun (s : Dr_analysis.Callgraph.site) ->
+          Printf.printf "%s -> %s (line %d%s)\n" s.caller s.callee s.line
+            (match s.position with
+            | Dr_analysis.Callgraph.Expr_call -> ", expression"
+            | Dr_analysis.Callgraph.Stmt_call -> ""))
+        (Dr_analysis.Callgraph.sites graph)
+  in
+  Cmd.v
+    (Cmd.info "callgraph" ~doc:"Print the static call graph of a module.")
+    Term.(const run $ file_arg $ dot_arg)
+
+let advise_cmd =
+  let run file =
+    let program = or_die (parse_program_file file) in
+    (match Dr_lang.Typecheck.check program with
+    | Ok () -> ()
+    | Error errors ->
+      List.iter (fun e -> Fmt.epr "error: %a@." Dr_lang.Typecheck.pp_error e) errors;
+      exit 1);
+    match Dr_analysis.Placement.advise program with
+    | [] ->
+      print_endline
+        "no labelled statements found; add candidate labels to rank them"
+    | advices ->
+      List.iter (fun a -> Fmt.pr "%a@." Dr_analysis.Placement.pp_advice a) advices;
+      print_endline
+        "\nguidance (paper §4): prefer warm/cold points outside computationally\n\
+         intensive loops; points in hot loops respond fastest but cost the most\n\
+         flag tests and can inhibit optimisation."
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Rank labelled statements as candidate reconfiguration points.")
+    Term.(const run $ file_arg)
+
+let optimize_cmd =
+  let run file stats_only =
+    let program = or_die (parse_program_file file) in
+    (match Dr_lang.Typecheck.check program with
+    | Ok () -> ()
+    | Error errors ->
+      List.iter (fun e -> Fmt.epr "error: %a@." Dr_lang.Typecheck.pp_error e) errors;
+      exit 1);
+    let optimized, stats = Dr_opt.Optimize.optimize program in
+    if not stats_only then
+      print_string (Dr_lang.Pretty.program_to_string optimized);
+    Fmt.epr
+      "[optimize] folded %d expression(s), pruned %d branch(es), hoisted %d \
+       assignment(s); %d loop(s) pinned by labels@."
+      stats.folded stats.pruned stats.hoisted stats.blocked_by_labels
+  in
+  let stats_only =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print statistics only.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Constant-fold and hoist loop invariants (labels are motion \
+             barriers).")
+    Term.(const run $ file_arg $ stats_only)
+
+(* ---------------------------------------------------------------- check *)
+
+let mil_arg =
+  Arg.(
+    required & opt (some file) None
+    & info [ "mil" ] ~docv:"FILE" ~doc:"Configuration specification file.")
+
+let srcs_arg =
+  Arg.(
+    value & opt_all src_conv []
+    & info [ "src" ] ~docv:"MODULE=PATH" ~doc:"Module source (repeatable).")
+
+let load_system mil srcs =
+  let sources = List.map (fun (m, path) -> (m, read_file path)) srcs in
+  Dynrecon.System.load ~mil:(read_file mil) ~sources ()
+
+let check_cmd =
+  let run mil srcs =
+    match load_system mil srcs with
+    | Ok system ->
+      List.iter
+        (fun (m : Dynrecon.System.loaded_module) ->
+          Printf.printf "module %-12s %s\n" m.lm_name
+            (match m.lm_prepared with
+            | Some prepared ->
+              Printf.sprintf "prepared (%d reconfiguration edge(s))"
+                (List.length prepared.Dr_transform.Instrument.graph.edges)
+            | None -> "no reconfiguration points"))
+        system.modules;
+      print_endline "configuration OK"
+    | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Validate a configuration and its module sources; prepare modules.")
+    Term.(const run $ mil_arg $ srcs_arg)
+
+(* ------------------------------------------------------------------ run *)
+
+let app_arg =
+  Arg.(
+    required & opt (some string) None
+    & info [ "app" ] ~docv:"NAME" ~doc:"Application to deploy.")
+
+let until_arg =
+  Arg.(
+    value & opt float 100.0
+    & info [ "until" ] ~docv:"T" ~doc:"Virtual time to simulate.")
+
+let hosts_arg =
+  Arg.(
+    value
+    & opt_all string [ "hostA=x86_64"; "hostB=sparc32"; "hostC=arm32" ]
+    & info [ "host" ] ~docv:"NAME=ARCH" ~doc:"Simulated host (repeatable).")
+
+let migrate_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "migrate" ] ~docv:"INST:NEW:HOST@T"
+        ~doc:"Migrate INST to HOST as NEW at virtual time T.")
+
+let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the bus trace.")
+
+let timeline_arg =
+  Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII timeline of the run.")
+
+let parse_hosts specs =
+  List.map
+    (fun spec ->
+      match String.split_on_char '=' spec with
+      | [ name; arch ] -> (
+        match Dr_state.Arch.by_name arch with
+        | Some arch -> { Dr_bus.Bus.host_name = name; arch }
+        | None -> failwith (Printf.sprintf "unknown architecture %s" arch))
+      | _ -> failwith (Printf.sprintf "bad host %S" spec))
+    specs
+
+let run_cmd =
+  let run mil srcs app until hosts migrate trace timeline =
+    let system = match load_system mil srcs with Ok s -> s | Error e -> or_die (Error e) in
+    let hosts = parse_hosts hosts in
+    let bus =
+      match Dynrecon.System.start system ~app ~hosts () with
+      | Ok bus -> bus
+      | Error e -> or_die (Error e)
+    in
+    (match migrate with
+    | None -> Dr_bus.Bus.run ~until bus
+    | Some spec -> (
+      match Scanf.sscanf_opt spec "%s@:%s@:%s@@%f" (fun a b c t -> (a, b, c, t)) with
+      | None -> or_die (Error (Printf.sprintf "bad --migrate %S" spec))
+      | Some (inst, fresh, host, t) ->
+        Dr_bus.Bus.run ~until:t bus;
+        (match Dynrecon.System.migrate bus ~instance:inst ~new_instance:fresh ~new_host:host with
+        | Ok _ -> Printf.printf "migrated %s -> %s on %s\n" inst fresh host
+        | Error e -> or_die (Error e));
+        Dr_bus.Bus.run ~until bus));
+    List.iter
+      (fun inst ->
+        Printf.printf "--- %s (%s) ---\n" inst
+          (Option.value ~default:"?" (Dr_bus.Bus.instance_host bus ~instance:inst));
+        List.iter (Printf.printf "%s\n") (Dr_bus.Bus.outputs bus ~instance:inst))
+      (Dr_bus.Bus.instances bus);
+    if timeline then print_string (Dr_report.Timeline.render bus);
+    if trace then Fmt.pr "%a" Dr_sim.Trace.dump (Dr_bus.Bus.trace bus)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Deploy an application and simulate it.")
+    Term.(
+      const run $ mil_arg $ srcs_arg $ app_arg $ until_arg $ hosts_arg
+      $ migrate_arg $ trace_arg $ timeline_arg)
+
+let inspect_cmd =
+  let run file =
+    match Dr_reconfig.Freeze.load ~path:file with
+    | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+    | Ok frozen -> (
+      match Dr_state.Codec.decode_abstract frozen with
+      | Error e ->
+        prerr_endline ("error: corrupt image: " ^ e);
+        exit 1
+      | Ok image ->
+        Fmt.pr "%a@." Dr_state.Image.pp image;
+        Fmt.pr "abstract encoding: %d byte(s)@." (Bytes.length frozen);
+        List.iter
+          (fun arch ->
+            match Dr_state.Codec.Native.encode arch image with
+            | Ok bytes ->
+              Fmt.pr "native %-8s %d byte(s)@." arch.Dr_state.Arch.arch_name
+                (Bytes.length bytes)
+            | Error e ->
+              Fmt.pr "native %-8s unrepresentable: %s@."
+                arch.Dr_state.Arch.arch_name e)
+          Dr_state.Arch.all)
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE"
+           ~doc:"Frozen state image file (see Freeze.save).")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Describe a frozen state image.")
+    Term.(const run $ file)
+
+(* ----------------------------------------------------------------- exec *)
+
+let exec_cmd =
+  let run file max_steps trace =
+    let program = or_die (parse_program_file file) in
+    (match Dr_lang.Typecheck.check program with
+    | Ok () -> ()
+    | Error errors ->
+      List.iter
+        (fun e -> Fmt.epr "error: %a@." Dr_lang.Typecheck.pp_error e)
+        errors;
+      exit 1);
+    let io = Dr_interp.Io_intf.null ~print:print_endline () in
+    let machine = Dr_interp.Machine.create ~io program in
+    if trace then
+      Dr_interp.Machine.set_tracer machine
+        (Some
+           (fun proc pc instr ->
+             Fmt.epr "[trace] %-12s %4d  %a@." proc pc Dr_interp.Ir.pp_instr instr));
+    Dr_interp.Machine.run ~max_steps machine;
+    Fmt.pr "[%a after %d instruction(s)]@."
+      Dr_interp.Machine.pp_status
+      (Dr_interp.Machine.status machine)
+      (Dr_interp.Machine.instr_count machine)
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 10_000_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Instruction budget.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print each executed instruction.")
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Run a single module standalone (no bus).")
+    Term.(const run $ file_arg $ max_steps $ trace)
+
+let () =
+  let info =
+    Cmd.info "drc" ~version:"1.0.0"
+      ~doc:"Dynamic reconfiguration platform for distributed applications."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ transform_cmd; graph_cmd; callgraph_cmd; advise_cmd; optimize_cmd;
+            check_cmd; run_cmd; exec_cmd; inspect_cmd ]))

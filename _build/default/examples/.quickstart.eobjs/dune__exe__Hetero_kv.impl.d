@@ -1,0 +1,1 @@
+examples/hetero_kv.ml: Dr_bus Dr_reconfig Dr_sim Dr_state Dr_workloads Dynrecon List Option Printf

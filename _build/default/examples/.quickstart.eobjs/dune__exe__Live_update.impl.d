@@ -1,0 +1,1 @@
+examples/live_update.ml: Dr_bus Dr_interp Dr_state Dr_workloads Dynrecon List Printf

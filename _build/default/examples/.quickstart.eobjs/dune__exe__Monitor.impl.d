@@ -1,0 +1,1 @@
+examples/monitor.ml: Array Dr_bus Dr_report Dr_workloads Dynrecon List Option Printf Sys

@@ -1,0 +1,1 @@
+examples/pipeline_surgery.ml: Dr_bus Dr_interp Dr_state Dr_workloads Dynrecon List Option Printf

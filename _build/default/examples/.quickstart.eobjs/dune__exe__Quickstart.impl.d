@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dr_bus Dr_state Dynrecon List Option Printf

@@ -1,0 +1,1 @@
+examples/token_ring.ml: Dr_bus Dr_reconfig Dr_workloads Dynrecon List Option Printf

@@ -1,0 +1,1 @@
+examples/worker_farm.ml: Dr_bus Dr_report Dr_workloads Dynrecon List Option Printf

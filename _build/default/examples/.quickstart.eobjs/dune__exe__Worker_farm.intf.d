@@ -1,0 +1,1 @@
+examples/worker_farm.mli:

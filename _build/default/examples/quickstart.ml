@@ -1,0 +1,80 @@
+(* Quickstart: the smallest complete use of the platform.
+
+   A counter module ticks forever; we declare one reconfiguration point,
+   deploy it, let it run, then migrate it to another machine. Its counter
+   value — part of the captured process state — survives the move.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Bus = Dr_bus.Bus
+module System = Dynrecon.System
+
+(* 1. The module source: plain MiniProc plus one label, R. *)
+let counter_source =
+  {|
+module counter;
+
+var count: int = 0;
+
+proc main() {
+  mh_init();
+  while (true) {
+    count = count + 1;
+    print("tick ", count);
+    R: sleep(5);
+  }
+}
+|}
+
+(* 2. The configuration: one module, its reconfiguration point, one
+   application instance. *)
+let mil =
+  {|
+module counter {
+  source = "./counter.exe";
+  reconfiguration point R state {count};
+}
+
+application demo {
+  instance counter on "alpha";
+}
+|}
+
+let hosts =
+  [ { Bus.host_name = "alpha"; arch = Dr_state.Arch.x86_64 };
+    { Bus.host_name = "beta"; arch = Dr_state.Arch.sparc32 } ]
+
+let () =
+  (* 3. Load: parses, typechecks, cross-checks, and automatically
+     instruments the module for reconfiguration. *)
+  let system =
+    match System.load ~mil ~sources:[ ("counter", counter_source) ] () with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  print_endline "=== instrumented source the platform generated ===";
+  print_string (Option.get (System.instrumented_source system "counter"));
+  (* 4. Deploy and run for a while. *)
+  let bus =
+    match System.start system ~app:"demo" ~hosts () with
+    | Ok bus -> bus
+    | Error e -> failwith e
+  in
+  Bus.run ~until:30.0 bus;
+  Printf.printf "\n=== before migration (t=%.0f) ===\n" (Bus.now bus);
+  List.iter print_endline (Bus.outputs bus ~instance:"counter");
+  (* 5. Migrate the running module from alpha (x86_64, little-endian) to
+     beta (sparc32, big-endian). The state image travels through the
+     abstract format. *)
+  (match System.migrate bus ~instance:"counter" ~new_instance:"counter2" ~new_host:"beta" with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  Bus.run ~until:(Bus.now bus +. 30.0) bus;
+  Printf.printf "\n=== after migration to %s (t=%.0f) ===\n"
+    (Option.value ~default:"?" (Bus.instance_host bus ~instance:"counter2"))
+    (Bus.now bus);
+  print_endline "(final ticks of the old incarnation on alpha)";
+  List.iter print_endline (Bus.outputs bus ~instance:"counter");
+  print_endline "(ticks of the clone on beta)";
+  List.iter print_endline (Bus.outputs bus ~instance:"counter2");
+  print_endline "\nNote: the tick counter continued — process state survived the move."

@@ -1,0 +1,66 @@
+(* An elastic worker farm under live reconfiguration.
+
+   feeder → dispatcher → {w1, w2, w3} → collector
+
+   The dispatcher round-robins jobs over its active worker slots; the
+   active count is part of its process state. While 40 jobs flow
+   through, we:
+
+     1. scale out to three workers when the dispatcher's backlog grows,
+     2. migrate the dispatcher itself — the stateful coordinator — to
+        another machine mid-stream (its slot counter, round-robin cursor
+        and any job being dispatched travel in its captured state),
+     3. scale back in once the backlog drains.
+
+   Invariant: the collector receives every job's result exactly once.
+
+   Run with: dune exec examples/worker_farm.exe *)
+
+module Bus = Dr_bus.Bus
+module Farm = Dr_workloads.Farm
+
+let () =
+  let system = Farm.load () in
+  let bus = Farm.start system in
+  (* one slow worker: let the backlog build *)
+  Bus.run ~until:12.0 bus;
+  Printf.printf "t=%.0f  jobs queued at the single worker: %d\n" (Bus.now bus)
+    (Bus.pending_messages bus ("w1", "in"));
+
+  print_endline "\nscaling out to three workers...";
+  (match Farm.scale_out bus ~slot:2 ~host:"hostB" with
+  | Ok w -> Printf.printf "  added %s\n" w
+  | Error e -> failwith e);
+  (match Farm.scale_out bus ~slot:3 ~host:"hostC" with
+  | Ok w -> Printf.printf "  added %s\n" w
+  | Error e -> failwith e);
+  Bus.run ~until:(Bus.now bus +. 10.0) bus;
+
+  print_endline "\nmigrating the dispatcher to hostC under load...";
+  (match
+     Dynrecon.System.migrate bus ~instance:"dispatcher"
+       ~new_instance:"dispatcher'" ~new_host:"hostC"
+   with
+  | Ok _ ->
+    Printf.printf "  dispatcher now on %s\n"
+      (Option.value ~default:"?" (Bus.instance_host bus ~instance:"dispatcher'"))
+  | Error e -> failwith e);
+  Bus.run ~until:(Bus.now bus +. 20.0) bus;
+
+  Printf.printf "\nt=%.0f  worker queues: w1=%d w2=%d w3=%d — scaling back in\n"
+    (Bus.now bus)
+    (Bus.pending_messages bus ("w1", "in"))
+    (Bus.pending_messages bus ("w2", "in"))
+    (Bus.pending_messages bus ("w3", "in"));
+  Farm.scale_in bus;
+
+  (* drain everything *)
+  Bus.run_while bus ~max_events:3_000_000 (fun () ->
+      List.length (Farm.results bus) < Farm.job_count);
+  let results = List.sort compare (Farm.results bus) in
+  Printf.printf
+    "\ncollector received %d results; every job exactly once: %b\n"
+    (List.length results)
+    (results = Farm.expected_results);
+  print_endline "\ntimeline:";
+  print_string (Dr_report.Timeline.render ~events:[ "script"; "signal"; "state" ] bus)

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Ast Buffer Dr_lang Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Ast Dr_lang Hashtbl List String

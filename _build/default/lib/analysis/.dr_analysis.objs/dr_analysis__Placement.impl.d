@@ -1,0 +1,1 @@
+lib/analysis/placement.ml: Ast Callgraph Dr_lang Fmt List Reconfig_graph String

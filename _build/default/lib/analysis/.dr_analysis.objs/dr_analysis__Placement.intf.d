@@ -1,0 +1,1 @@
+lib/analysis/placement.mli: Dr_lang Format

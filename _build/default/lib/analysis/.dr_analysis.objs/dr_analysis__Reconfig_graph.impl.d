@@ -1,0 +1,1 @@
+lib/analysis/reconfig_graph.ml: Ast Buffer Callgraph Dr_lang Fmt List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/analysis/reconfig_graph.mli: Dr_lang Format

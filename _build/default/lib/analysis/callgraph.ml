@@ -1,0 +1,151 @@
+open Dr_lang
+
+type position = Stmt_call | Expr_call
+
+type site = {
+  caller : string;
+  callee : string;
+  line : int;
+  position : position;
+  ordinal : int;
+}
+
+type t = { proc_names : string list; all_sites : site list }
+
+(* Pre-order walk over a procedure body collecting call sites. Expression
+   subtrees are visited left-to-right before the statement's own call (a
+   statement call's arguments are visited first, matching evaluation
+   order in the interpreter's lowering). *)
+let sites_of_proc (proc : Ast.proc) =
+  let acc = ref [] in
+  let stmt_counter = ref 0 in
+  let expr_counter = ref 0 in
+  let add callee line position =
+    let counter =
+      match position with Stmt_call -> stmt_counter | Expr_call -> expr_counter
+    in
+    acc :=
+      { caller = proc.proc_name; callee; line; position; ordinal = !counter }
+      :: !acc;
+    incr counter
+  in
+  let rec expr line (e : Ast.expr) =
+    match e with
+    | Int _ | Float _ | Bool _ | Str _ | Null | Var _ -> ()
+    | Index (a, i) ->
+      expr line a;
+      expr line i
+    | Addr (_, i) -> expr line i
+    | Unop (_, e) -> expr line e
+    | Binop (_, a, b) ->
+      expr line a;
+      expr line b
+    | Call (name, args) ->
+      List.iter (expr line) args;
+      add name line Expr_call
+    | Builtin (_, args) -> List.iter (expr line) args
+  in
+  let lvalue line = function
+    | Ast.Lvar _ -> ()
+    | Ast.Lindex (_, i) -> expr line i
+  in
+  let arg line = function
+    | Ast.Aexpr e -> expr line e
+    | Ast.Alv lv -> lvalue line lv
+  in
+  let rec stmt (s : Ast.stmt) =
+    let line = s.line in
+    match s.kind with
+    | Decl (_, _, init) -> Option.iter (expr line) init
+    | Assign (lv, e) ->
+      lvalue line lv;
+      expr line e
+    | If (c, then_b, else_b) ->
+      expr line c;
+      List.iter stmt then_b;
+      List.iter stmt else_b
+    | While (c, body) ->
+      expr line c;
+      List.iter stmt body
+    | CallS (name, args) ->
+      List.iter (expr line) args;
+      add name line Stmt_call
+    | Return e -> Option.iter (expr line) e
+    | Goto _ | Skip -> ()
+    | Print es -> List.iter (expr line) es
+    | Sleep e -> expr line e
+    | BuiltinS (_, args) -> List.iter (arg line) args
+  in
+  List.iter stmt proc.body;
+  List.rev !acc
+
+let build (program : Ast.program) =
+  let proc_names = List.map (fun (p : Ast.proc) -> p.proc_name) program.procs in
+  let all_sites = List.concat_map sites_of_proc program.procs in
+  { proc_names; all_sites }
+
+let procs t = t.proc_names
+
+let sites t = t.all_sites
+
+let sites_from t caller =
+  List.filter (fun s -> String.equal s.caller caller) t.all_sites
+
+let callees t caller =
+  List.sort_uniq String.compare
+    (List.map (fun s -> s.callee) (sites_from t caller))
+
+let successors t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt tbl s.caller) in
+      if not (List.mem s.callee existing) then
+        Hashtbl.replace tbl s.caller (s.callee :: existing))
+    t.all_sites;
+  tbl
+
+let reachable_from t start =
+  let succ = successors t in
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      List.iter visit (Option.value ~default:[] (Hashtbl.find_opt succ name))
+    end
+  in
+  visit start;
+  List.filter (Hashtbl.mem seen) t.proc_names
+
+let can_reach t ~targets =
+  (* reverse reachability *)
+  let pred = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt pred s.callee) in
+      if not (List.mem s.caller existing) then
+        Hashtbl.replace pred s.callee (s.caller :: existing))
+    t.all_sites;
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      List.iter visit (Option.value ~default:[] (Hashtbl.find_opt pred name))
+    end
+  in
+  List.iter visit targets;
+  List.filter (Hashtbl.mem seen) t.proc_names
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph callgraph {\n";
+  List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "  %S;\n" p)) t.proc_names;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S -> %S [label=\"line %d%s\"];\n" s.caller s.callee
+           s.line
+           (match s.position with Expr_call -> " (expr)" | Stmt_call -> "")))
+    t.all_sites;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

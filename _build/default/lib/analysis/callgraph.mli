@@ -1,0 +1,45 @@
+(** Static call graph of a MiniProc program (paper §3).
+
+    A node per procedure; a directed edge per call site. Call sites in
+    statement position and in expression position are distinguished: the
+    reconfiguration transformation can only instrument statement-level
+    sites, so expression-level calls on a path to a reconfiguration point
+    are rejected by {!Reconfig_graph.build}. *)
+
+type position = Stmt_call | Expr_call
+
+type site = {
+  caller : string;
+  callee : string;
+  line : int;
+  position : position;
+  ordinal : int;
+      (** pre-order index of this site among the caller's call sites of
+          the same position kind (statement sites and expression sites
+          are numbered independently) *)
+}
+
+type t
+
+val build : Dr_lang.Ast.program -> t
+
+val procs : t -> string list
+(** All procedure names, in program order. *)
+
+val sites : t -> site list
+(** All call sites, callers in program order, pre-order within a caller. *)
+
+val sites_from : t -> string -> site list
+
+val callees : t -> string -> string list
+(** Distinct callees of a procedure. *)
+
+val reachable_from : t -> string -> string list
+(** Procedures reachable from [start] (inclusive), ignoring call
+    position. *)
+
+val can_reach : t -> targets:string list -> string list
+(** Procedures from which some target is reachable (targets included). *)
+
+val to_dot : t -> string
+(** Graphviz rendering (used by the [drc graph] tool and Fig. 6). *)

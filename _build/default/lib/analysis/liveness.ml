@@ -1,0 +1,222 @@
+open Dr_lang
+
+(* A flattened CFG node: use/def sets plus successor indices. *)
+type node = {
+  uses : string list;
+  defs : string list;
+  mutable succs : int list;
+  src_label : string option;
+  call_ordinal : int option;
+      (* pre-order index among statement-level call sites, matching
+         Callgraph ordinals *)
+}
+
+type t = {
+  nodes : node array;
+  live_in : string list array;
+  live_out : string list array;
+  params : string list;
+}
+
+let rec expr_uses acc (e : Ast.expr) =
+  match e with
+  | Int _ | Float _ | Bool _ | Str _ | Null -> acc
+  | Var name -> name :: acc
+  | Index (a, i) -> expr_uses (expr_uses acc a) i
+  | Addr (name, i) -> expr_uses (name :: acc) i
+  | Unop (_, e) -> expr_uses acc e
+  | Binop (_, a, b) -> expr_uses (expr_uses acc a) b
+  | Call (_, args) | Builtin (_, args) -> List.fold_left expr_uses acc args
+
+let lvalue_uses acc = function
+  | Ast.Lvar _ -> acc
+  | Ast.Lindex (name, i) ->
+    (* Writing through an index reads the base (array/pointer). *)
+    expr_uses (name :: acc) i
+
+let lvalue_defs = function
+  | Ast.Lvar name -> [ name ]
+  | Ast.Lindex _ -> []  (* heap write, not a variable definition *)
+
+(* Flatten a body into nodes. Returns the node list (in order) with
+   pending successor links resolved afterwards. *)
+type builder = {
+  mutable rev_nodes : node list;
+  mutable count : int;
+  mutable next_call_ordinal : int;
+  labels : (string, int) Hashtbl.t;
+  mutable gotos : (int * string) list;  (* node index, target label *)
+  program : Ast.program option;
+}
+
+let new_node b ?src_label ?call_ordinal ~uses ~defs succs =
+  let node = { uses; defs; succs; src_label; call_ordinal } in
+  b.rev_nodes <- node :: b.rev_nodes;
+  (match src_label with Some l -> Hashtbl.replace b.labels l b.count | None -> ());
+  b.count <- b.count + 1;
+  b.count - 1
+
+(* Call-site uses/defs: plain arguments are used; arguments bound to ref
+   parameters are both used and defined. *)
+let call_effects b name args =
+  let ref_flags =
+    match b.program with
+    | Some program -> (
+      match Ast.find_proc program name with
+      | Some callee -> List.map (fun (p : Ast.param) -> p.pref) callee.params
+      | None -> List.map (fun _ -> false) args)
+    | None -> List.map (fun _ -> false) args
+  in
+  let ref_flags =
+    if List.length ref_flags = List.length args then ref_flags
+    else List.map (fun _ -> false) args
+  in
+  let uses = List.fold_left expr_uses [] args in
+  let defs =
+    List.concat
+      (List.map2
+         (fun is_ref arg ->
+           match is_ref, arg with true, Ast.Var v -> [ v ] | _ -> [])
+         ref_flags args)
+  in
+  (uses, defs)
+
+let arg_effects args =
+  List.fold_left
+    (fun (uses, defs) a ->
+      match a with
+      | Ast.Aexpr e -> (expr_uses uses e, defs)
+      | Ast.Alv (Ast.Lvar v) -> (uses, v :: defs)
+      | Ast.Alv (Ast.Lindex (name, i)) -> (expr_uses (name :: uses) i, defs))
+    ([], []) args
+
+(* Flattening: each statement becomes one or more nodes whose default
+   successor is the next node in sequence; we fix up structured control
+   flow as we go and resolve gotos at the end. Returns the index of the
+   first node of the block, or [next] if the block is empty — so we
+   always append a final sentinel exit node. *)
+let rec flatten_block b (block : Ast.block) =
+  List.iter (flatten_stmt b) block
+
+and flatten_stmt b (s : Ast.stmt) =
+  let src_label = s.label in
+  match s.kind with
+  | Decl (name, _, init) ->
+    let uses = match init with Some e -> expr_uses [] e | None -> [] in
+    ignore (new_node b ?src_label ~uses ~defs:[ name ] [ b.count + 1 ])
+  | Assign (lv, e) ->
+    let uses = expr_uses (lvalue_uses [] lv) e in
+    ignore (new_node b ?src_label ~uses ~defs:(lvalue_defs lv) [ b.count + 1 ])
+  | If (cond, then_b, else_b) ->
+    let cond_idx =
+      new_node b ?src_label ~uses:(expr_uses [] cond) ~defs:[] []
+    in
+    let then_start = b.count in
+    flatten_block b then_b;
+    let then_jump = new_node b ~uses:[] ~defs:[] [] in
+    let else_start = b.count in
+    flatten_block b else_b;
+    let after = b.count in
+    (List.nth (List.rev b.rev_nodes) cond_idx).succs <- [ then_start; else_start ];
+    (List.nth (List.rev b.rev_nodes) then_jump).succs <- [ after ]
+  | While (cond, body) ->
+    let cond_idx =
+      new_node b ?src_label ~uses:(expr_uses [] cond) ~defs:[] []
+    in
+    let body_start = b.count in
+    flatten_block b body;
+    let back_jump = new_node b ~uses:[] ~defs:[] [ cond_idx ] in
+    ignore back_jump;
+    let after = b.count in
+    (List.nth (List.rev b.rev_nodes) cond_idx).succs <- [ body_start; after ]
+  | CallS (name, args) ->
+    let uses, defs = call_effects b name args in
+    let call_ordinal = b.next_call_ordinal in
+    b.next_call_ordinal <- call_ordinal + 1;
+    ignore (new_node b ?src_label ~call_ordinal ~uses ~defs [ b.count + 1 ])
+  | Return e ->
+    let uses = match e with Some e -> expr_uses [] e | None -> [] in
+    ignore (new_node b ?src_label ~uses ~defs:[] [])
+  | Goto target ->
+    let idx = new_node b ?src_label ~uses:[] ~defs:[] [] in
+    b.gotos <- (idx, target) :: b.gotos
+  | Print es ->
+    ignore
+      (new_node b ?src_label ~uses:(List.fold_left expr_uses [] es) ~defs:[]
+         [ b.count + 1 ])
+  | Sleep e ->
+    ignore (new_node b ?src_label ~uses:(expr_uses [] e) ~defs:[] [ b.count + 1 ])
+  | BuiltinS (_, args) ->
+    let uses, defs = arg_effects args in
+    ignore (new_node b ?src_label ~uses ~defs [ b.count + 1 ])
+  | Skip -> ignore (new_node b ?src_label ~uses:[] ~defs:[] [ b.count + 1 ])
+
+let analyze_with ?program (proc : Ast.proc) =
+  let b =
+    { rev_nodes = []; count = 0; next_call_ordinal = 0;
+      labels = Hashtbl.create 8; gotos = []; program }
+  in
+  flatten_block b proc.body;
+  (* sentinel exit node *)
+  ignore (new_node b ~uses:[] ~defs:[] []);
+  let nodes = Array.of_list (List.rev b.rev_nodes) in
+  let n = Array.length nodes in
+  (* Clamp fall-through successors past the end, resolve gotos. *)
+  Array.iter
+    (fun node -> node.succs <- List.filter (fun s -> s < n) node.succs)
+    nodes;
+  List.iter
+    (fun (idx, target) ->
+      match Hashtbl.find_opt b.labels target with
+      | Some t -> nodes.(idx).succs <- [ t ]
+      | None -> ())
+    b.gotos;
+  (* Backward fixpoint. *)
+  let live_in = Array.make n [] in
+  let live_out = Array.make n [] in
+  let union a bs = List.sort_uniq String.compare (List.rev_append a bs) in
+  let diff a b = List.filter (fun x -> not (List.mem x b)) a in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let node = nodes.(i) in
+      let out = List.fold_left (fun acc s -> union acc live_in.(s)) [] node.succs in
+      let inn = union (List.sort_uniq String.compare node.uses) (diff out node.defs) in
+      if inn <> live_in.(i) || out <> live_out.(i) then begin
+        live_in.(i) <- inn;
+        live_out.(i) <- out;
+        changed := true
+      end
+    done
+  done;
+  let params = List.map (fun (p : Ast.param) -> p.pname) proc.params in
+  { nodes; live_in; live_out; params }
+
+let analyze ?program proc = analyze_with ?program proc
+
+let live_at_label t label =
+  let found = ref None in
+  Array.iteri
+    (fun i node ->
+      if node.src_label = Some label && !found = None then
+        found := Some t.live_in.(i))
+    t.nodes;
+  !found
+
+let live_at_entry t = if Array.length t.live_in = 0 then [] else t.live_in.(0)
+
+let live_after_call t ordinal =
+  let found = ref None in
+  Array.iteri
+    (fun i node ->
+      if node.call_ordinal = Some ordinal && !found = None then
+        found := Some t.live_out.(i))
+    t.nodes;
+  !found
+
+let used_anywhere t =
+  Array.fold_left
+    (fun acc node ->
+      List.sort_uniq String.compare (acc @ node.uses @ node.defs))
+    [] t.nodes

@@ -1,0 +1,37 @@
+(** Live-variable analysis for MiniProc procedures.
+
+    The paper notes that "at a reconfiguration point, data-flow analysis
+    could be used to determine the set of live variables" (§3). This
+    module implements that refinement: the transform can optionally trim
+    the captured variable set at a reconfiguration point to the live
+    ones.
+
+    The procedure body is flattened into a control-flow graph (labels and
+    [goto] included) and a standard backward may-analysis is run to a
+    fixpoint. By-reference arguments at call sites are treated as both
+    used and defined (conservative). *)
+
+type t
+
+val analyze : ?program:Dr_lang.Ast.program -> Dr_lang.Ast.proc -> t
+(** [program], when provided, lets the analysis see callee signatures so
+    that by-reference arguments are also treated as defined. *)
+
+val live_at_label : t -> string -> string list option
+(** Variables (parameters and locals) live immediately before the
+    statement carrying the given label, sorted. [None] if the label does
+    not exist. *)
+
+val live_after_call : t -> int -> string list option
+(** Variables live immediately after the statement-level call site with
+    the given pre-order ordinal (see {!Callgraph.site.ordinal}), i.e. the
+    set a capture block at that site must preserve. [None] if there is no
+    such call site. *)
+
+val live_at_entry : t -> string list
+(** Variables live on entry to the procedure (typically the parameters
+    that are read before being written). *)
+
+val used_anywhere : t -> string list
+(** All variables referenced anywhere in the body (a coarse upper bound,
+    useful for sanity checks). *)

@@ -1,0 +1,104 @@
+open Dr_lang
+
+type tier = Hot | Warm | Cold
+
+type advice = {
+  a_proc : string;
+  a_label : string;
+  a_line : int;
+  a_loop_depth : int;
+  a_caller_sites : int;
+  a_relevant_procs : int;
+  a_call_edges : int;
+  a_tier : tier;
+  a_viable : string option;
+}
+
+let tier_name = function Hot -> "hot" | Warm -> "warm" | Cold -> "cold"
+
+let tier_of_depth depth = if depth >= 2 then Hot else if depth = 1 then Warm else Cold
+
+(* Every labelled statement with its loop nesting depth. *)
+let labelled_sites (proc : Ast.proc) =
+  let acc = ref [] in
+  let rec walk depth (stmts : Ast.block) =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        (match s.label with
+        | Some label -> acc := (label, s.line, depth) :: !acc
+        | None -> ());
+        match s.kind with
+        | If (_, then_b, else_b) ->
+          walk depth then_b;
+          walk depth else_b
+        | While (_, body) -> walk (depth + 1) body
+        | Decl _ | Assign _ | CallS _ | Return _ | Goto _ | Print _ | Sleep _
+        | BuiltinS _ | Skip ->
+          ())
+      stmts
+  in
+  walk 0 proc.body;
+  List.rev !acc
+
+let advise (program : Ast.program) =
+  let graph = Callgraph.build program in
+  let reachable = Callgraph.reachable_from graph "main" in
+  let caller_sites proc_name =
+    List.length
+      (List.filter
+         (fun (s : Callgraph.site) -> String.equal s.callee proc_name)
+         (Callgraph.sites graph))
+  in
+  let advices =
+    List.concat_map
+      (fun (proc : Ast.proc) ->
+        if not (List.mem proc.proc_name reachable) then []
+        else
+          List.map
+            (fun (label, line, depth) ->
+              let relevant_procs, call_edges, viable =
+                match
+                  Reconfig_graph.build program
+                    ~points:[ (proc.proc_name, label) ]
+                with
+                | Ok rg ->
+                  let calls =
+                    List.length
+                      (List.filter
+                         (function
+                           | Reconfig_graph.Call_edge _ -> true
+                           | Reconfig_graph.Point_edge _ -> false)
+                         rg.edges)
+                  in
+                  (List.length rg.relevant, calls, None)
+                | Error reason -> (0, 0, Some reason)
+              in
+              { a_proc = proc.proc_name;
+                a_label = label;
+                a_line = line;
+                a_loop_depth = depth;
+                a_caller_sites = caller_sites proc.proc_name;
+                a_relevant_procs = relevant_procs;
+                a_call_edges = call_edges;
+                a_tier = tier_of_depth depth;
+                a_viable = viable })
+            (labelled_sites proc))
+      program.procs
+  in
+  List.sort
+    (fun a b ->
+      match compare b.a_loop_depth a.a_loop_depth with
+      | 0 -> compare a.a_line b.a_line
+      | c -> c)
+    advices
+
+let pp_advice ppf a =
+  Fmt.pf ppf "%s.%s (line %d): %s (loop depth %d)" a.a_proc a.a_label a.a_line
+    (tier_name a.a_tier) a.a_loop_depth;
+  (match a.a_viable with
+  | Some reason -> Fmt.pf ppf " — UNUSABLE: %s" reason
+  | None ->
+    Fmt.pf ppf " — instruments %d procedure(s), %d capture block(s)"
+      a.a_relevant_procs a.a_call_edges);
+  if a.a_caller_sites > 1 then
+    Fmt.pf ppf "; procedure called from %d sites" a.a_caller_sites

@@ -1,0 +1,44 @@
+(** Reconfiguration-point placement advisor.
+
+    Mechanises the paper's §4 discussion: points inside frequently
+    executed code respond to reconfiguration requests quickly but are
+    tested often (overhead, and they can inhibit optimisation of hot
+    loops); points in rarely executed code are cheap but respond slowly.
+    "For applications with an execution time on the order of days ...
+    placing reconfiguration points where they will be checked regularly
+    is more important than placing them where they will be checked
+    frequently."
+
+    [advise] examines every labelled statement of a program as a
+    candidate reconfiguration point and reports, for each: its loop
+    nesting depth (a static proxy for check frequency), how many call
+    sites reach its procedure, and what instrumenting it would cost
+    (procedures on the reconfiguration graph and capture blocks
+    inserted). *)
+
+type tier =
+  | Hot   (** inside nested loops: fast response, highest flag-test cost *)
+  | Warm  (** inside one loop: checked regularly *)
+  | Cold  (** straight-line code: checked at most once per invocation *)
+
+type advice = {
+  a_proc : string;
+  a_label : string;
+  a_line : int;
+  a_loop_depth : int;
+  a_caller_sites : int;  (** call sites targeting the containing procedure *)
+  a_relevant_procs : int;  (** procedures instrumented if this point is chosen *)
+  a_call_edges : int;  (** capture blocks that would be inserted *)
+  a_tier : tier;
+  a_viable : string option;  (** [Some reason] when the point is unusable *)
+}
+
+val advise : Dr_lang.Ast.program -> advice list
+(** One entry per labelled statement in a procedure reachable from
+    [main], best-responding first (deepest loops first, then by line).
+    Labels whose procedures cannot be instrumented (e.g. only reachable
+    through expression-position calls) carry [a_viable = Some reason]. *)
+
+val tier_name : tier -> string
+
+val pp_advice : Format.formatter -> advice -> unit

@@ -1,0 +1,174 @@
+open Dr_lang
+
+type edge =
+  | Call_edge of {
+      index : int;
+      src : string;
+      callee : string;
+      line : int;
+      ordinal : int;
+    }
+  | Point_edge of { index : int; src : string; rlabel : string; line : int }
+
+type t = {
+  relevant : string list;
+  edges : edge list;
+  points : (string * string) list;
+}
+
+let edge_index = function
+  | Call_edge { index; _ } | Point_edge { index; _ } -> index
+
+let edge_src = function
+  | Call_edge { src; _ } | Point_edge { src; _ } -> src
+
+let edges_from t src =
+  List.filter (fun e -> String.equal (edge_src e) src) t.edges
+
+let is_relevant t name = List.mem name t.relevant
+
+let ( let* ) = Result.bind
+
+let validate_points (program : Ast.program) points =
+  let rec check = function
+    | [] -> Ok ()
+    | (proc_name, label) :: rest -> (
+      match Ast.find_proc program proc_name with
+      | None ->
+        Error
+          (Printf.sprintf "reconfiguration point %s.%s: no such procedure"
+             proc_name label)
+      | Some proc ->
+        if List.mem label (Ast.labels_in_block proc.body) then check rest
+        else
+          Error
+            (Printf.sprintf
+               "reconfiguration point %s.%s: no such label in procedure"
+               proc_name label))
+  in
+  check points
+
+(* Edges are numbered in a single deterministic order: relevant
+   procedures in program order; within a procedure, a pre-order walk of
+   the body; a statement contributes its point edge (if its label is a
+   reconfiguration point) before its call edge (if it is a call into the
+   relevant set). *)
+let collect_edges (program : Ast.program) relevant points =
+  let next = ref 1 in
+  let edges = ref [] in
+  let emit e = edges := e :: !edges; incr next in
+  let walk_proc (proc : Ast.proc) =
+    (* Ordinals count statement-level call sites pre-order, matching
+       Callgraph and the transform's own walk. *)
+    let ordinal = ref 0 in
+    let rec stmt (s : Ast.stmt) =
+      (match s.label with
+      | Some label when List.mem (proc.proc_name, label) points ->
+        emit
+          (Point_edge
+             { index = !next; src = proc.proc_name; rlabel = label; line = s.line })
+      | Some _ | None -> ());
+      match s.kind with
+      | If (_, then_b, else_b) ->
+        List.iter stmt then_b;
+        List.iter stmt else_b
+      | While (_, body) -> List.iter stmt body
+      | CallS (name, _) ->
+        let this_ordinal = !ordinal in
+        incr ordinal;
+        if List.mem name relevant then
+          emit
+            (Call_edge
+               { index = !next; src = proc.proc_name; callee = name;
+                 line = s.line; ordinal = this_ordinal })
+      | Decl _ | Assign _ | Return _ | Goto _ | Skip | Print _ | Sleep _
+      | BuiltinS _ ->
+        ()
+    in
+    List.iter stmt proc.body
+  in
+  List.iter
+    (fun (p : Ast.proc) -> if List.mem p.proc_name relevant then walk_proc p)
+    program.procs;
+  List.rev !edges
+
+let build (program : Ast.program) ~points =
+  let* () = validate_points program points in
+  let* () =
+    if Option.is_some (Ast.find_proc program "main") then Ok ()
+    else Error "program has no main procedure"
+  in
+  let graph = Callgraph.build program in
+  let point_procs = List.sort_uniq String.compare (List.map fst points) in
+  let from_main = Callgraph.reachable_from graph "main" in
+  let to_points = Callgraph.can_reach graph ~targets:point_procs in
+  let relevant = List.filter (fun p -> List.mem p to_points) from_main in
+  let* () =
+    let unreachable =
+      List.filter (fun p -> not (List.mem p relevant)) point_procs
+    in
+    match unreachable with
+    | [] -> Ok ()
+    | p :: _ ->
+      Error
+        (Printf.sprintf
+           "procedure %s contains a reconfiguration point but is not reachable \
+            from main"
+           p)
+  in
+  (* Reject expression-position calls on paths to reconfiguration
+     points: the transformation can only instrument statements. *)
+  let* () =
+    let offending =
+      List.find_opt
+        (fun (s : Callgraph.site) ->
+          s.position = Callgraph.Expr_call
+          && List.mem s.caller relevant
+          && List.mem s.callee relevant)
+        (Callgraph.sites graph)
+    in
+    match offending with
+    | None -> Ok ()
+    | Some s ->
+      Error
+        (Printf.sprintf
+           "call to %s at line %d of %s is in expression position but lies on \
+            a path to a reconfiguration point; move it to its own statement"
+           s.callee s.line s.caller)
+  in
+  let edges = collect_edges program relevant points in
+  Ok { relevant; edges; points }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>reconfiguration graph@,  relevant: %a@,"
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    t.relevant;
+  List.iter
+    (fun e ->
+      match e with
+      | Call_edge { index; src; callee; line; _ } ->
+        Fmt.pf ppf "  edge (%d, S%d): %s -> %s@," index line src callee
+      | Point_edge { index; src; rlabel; line } ->
+        Fmt.pf ppf "  edge (%d, S%d): %s -> reconfig [%s]@," index line src rlabel)
+    t.edges;
+  Fmt.pf ppf "@]"
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph reconfiguration_graph {\n";
+  List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "  %S;\n" p)) t.relevant;
+  Buffer.add_string buf "  \"reconfig\" [shape=doublecircle];\n";
+  List.iter
+    (fun e ->
+      match e with
+      | Call_edge { index; src; callee; line; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %S -> %S [label=\"(%d, S%d)\"];\n" src callee index
+             line)
+      | Point_edge { index; src; rlabel; line } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %S -> \"reconfig\" [label=\"(%d, %s@S%d)\"];\n" src
+             index rlabel line))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** The reconfiguration graph (paper §3, Fig. 6).
+
+    Starting from the static call graph, keep only procedures lying on a
+    path from [main] to a procedure containing a reconfiguration point.
+    Add one edge per statement-level call site between such procedures
+    (labelled with its source line, standing in for the paper's "line
+    number of the call"), plus a distinguished [reconfig] node with one
+    edge per reconfiguration point. Edges are numbered consecutively from
+    1; these numbers are the resume locations stored in captured state
+    records. *)
+
+type edge =
+  | Call_edge of {
+      index : int;
+      src : string;
+      callee : string;
+      line : int;
+      ordinal : int;
+          (** pre-order call-site index within [src] (counting every call
+              site, matching {!Callgraph.site.ordinal}) *)
+    }
+  | Point_edge of { index : int; src : string; rlabel : string; line : int }
+
+type t = {
+  relevant : string list;  (** procedures to instrument, program order *)
+  edges : edge list;       (** ascending by [index] *)
+  points : (string * string) list;  (** (procedure, label) pairs *)
+}
+
+val build :
+  Dr_lang.Ast.program ->
+  points:(string * string) list ->
+  (t, string) result
+(** [points] are [(procedure, label)] pairs naming programmer-designated
+    reconfiguration points. Errors include: unknown procedure or label, a
+    point unreachable from [main], no [main], and an expression-position
+    call site on a path to a point (the transformation instruments
+    statements, so such programs are rejected). *)
+
+val edge_index : edge -> int
+
+val edge_src : edge -> string
+
+val edges_from : t -> string -> edge list
+
+val is_relevant : t -> string -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : t -> string

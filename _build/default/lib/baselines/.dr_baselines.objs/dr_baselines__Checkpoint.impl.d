@@ -1,0 +1,1 @@
+lib/baselines/checkpoint.ml: Dr_interp

@@ -1,0 +1,1 @@
+lib/baselines/checkpoint.mli: Dr_interp Dr_lang

@@ -1,0 +1,1 @@
+lib/baselines/machine_move.ml: Dr_bus Dr_state Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/baselines/machine_move.mli: Dr_bus

@@ -1,0 +1,1 @@
+lib/baselines/proc_update.ml: Dr_interp Dr_lang Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/baselines/proc_update.mli: Dr_interp Dr_lang

@@ -1,0 +1,1 @@
+lib/baselines/quiescence.ml: Dr_bus Dr_interp Dr_mil Dr_sim List Option Printf String

@@ -1,0 +1,1 @@
+lib/baselines/quiescence.mli: Dr_bus

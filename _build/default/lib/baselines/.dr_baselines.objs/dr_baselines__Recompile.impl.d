@@ -1,0 +1,1 @@
+lib/baselines/recompile.ml: Array Dr_analysis Dr_lang Dr_state Dr_transform Fmt List Printf Result String

@@ -1,0 +1,1 @@
+lib/baselines/recompile.mli: Dr_lang Dr_state Dr_transform

@@ -1,0 +1,55 @@
+module Bus = Dr_bus.Bus
+
+let move bus ~instance ~new_instance ~new_host =
+  match Bus.instance_host bus ~instance with
+  | None -> Error (Printf.sprintf "no such instance %s" instance)
+  | Some old_host_name -> (
+    match Bus.find_host bus old_host_name, Bus.find_host bus new_host with
+    | Some old_host, Some dst_host ->
+      if not (Dr_state.Arch.equal old_host.arch dst_host.arch) then
+        Error
+          (Printf.sprintf
+             "machine-specific snapshot cannot move %s from %a to %a: raw \
+              state is meaningless on a different architecture (this is what \
+              the abstract state format fixes)"
+             instance
+             (fun () a -> Fmt.str "%a" Dr_state.Arch.pp a)
+             old_host.arch
+             (fun () a -> Fmt.str "%a" Dr_state.Arch.pp a)
+             dst_host.arch)
+      else begin
+        match Bus.spawn_snapshot bus ~of_instance:instance
+                ~instance:new_instance ~host:new_host
+        with
+        | Error _ as e -> e
+        | Ok () ->
+          (* move pending messages and retarget every route *)
+          let ifaces =
+            List.sort_uniq String.compare
+              (List.filter_map
+                 (fun ((_, (dst : Bus.endpoint)) : Bus.endpoint * Bus.endpoint) ->
+                   if String.equal (fst dst) instance then Some (snd dst)
+                   else None)
+                 (Bus.all_routes bus))
+          in
+          List.iter
+            (fun iface ->
+              List.iter
+                (fun v -> Bus.inject bus ~dst:(new_instance, iface) v)
+                (Bus.take_queue bus (instance, iface)))
+            ifaces;
+          List.iter
+            (fun ((src : Bus.endpoint), (dst : Bus.endpoint)) ->
+              if String.equal (fst src) instance then begin
+                Bus.del_route bus ~src ~dst;
+                Bus.add_route bus ~src:(new_instance, snd src) ~dst
+              end
+              else if String.equal (fst dst) instance then begin
+                Bus.del_route bus ~src ~dst;
+                Bus.add_route bus ~src ~dst:(new_instance, snd dst)
+              end)
+            (Bus.all_routes bus);
+          Bus.kill bus ~instance;
+          Ok ()
+      end
+    | None, _ | _, None -> Error "unknown host")

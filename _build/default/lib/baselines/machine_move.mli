@@ -1,0 +1,26 @@
+(** Migration by machine-specific snapshot — the strawman §1.2 argues
+    against.
+
+    The "obvious approach" to moving a process is copying its entire
+    runtime state bit-for-bit. That works only between identical
+    machines: register layouts, word sizes and byte orders differ, and a
+    raw snapshot is meaningless elsewhere. This module implements the
+    strawman over {!Dr_interp.Machine.clone}: it succeeds when source
+    and destination hosts share an architecture and {b refuses}
+    otherwise — the restriction the paper's abstract state format
+    removes.
+
+    Unlike a real reconfiguration, no module participation happens: the
+    machine is snapshotted wherever it is, mid-statement state and all
+    (which is also why no architecture translation is possible). *)
+
+val move :
+  Dr_bus.Bus.t ->
+  instance:string ->
+  new_instance:string ->
+  new_host:string ->
+  (unit, string) result
+(** Snapshot the instance's machine, kill it, and resurrect the snapshot
+    under [new_instance] on [new_host]. Fails with an explanatory error
+    when the architectures differ. Routes are retargeted and pending
+    queues move, as in a scripted replacement. *)

@@ -1,0 +1,105 @@
+module Machine = Dr_interp.Machine
+module Ast = Dr_lang.Ast
+
+type progress = {
+  replaced : string list;
+  outstanding : string list;
+  steps_run : int;
+  completed : bool;
+}
+
+type t = {
+  m : Machine.t;
+  new_code : (string, Dr_interp.Ir.proc_code) Hashtbl.t;
+  changed : string list;
+  (* changed callees of each changed procedure (the bottom-up order
+     constraint applies between changed procedures only) *)
+  changed_callees : (string * string list) list;
+  mutable replaced_rev : string list;
+  mutable steps : int;
+}
+
+let direct_callees (program : Ast.program) name =
+  match Ast.find_proc program name with
+  | None -> []
+  | Some proc -> List.sort_uniq String.compare (Ast.calls_in_block proc.body)
+
+let create ~machine ~old_program ~(new_program : Ast.program) =
+  let changed =
+    List.filter_map
+      (fun (new_proc : Ast.proc) ->
+        match Ast.find_proc old_program new_proc.proc_name with
+        | Some old_proc when Ast.equal_proc old_proc new_proc -> None
+        | Some _ | None -> Some new_proc.proc_name)
+      new_program.procs
+  in
+  let changed_callees =
+    List.map
+      (fun name ->
+        ( name,
+          List.filter
+            (fun callee -> List.mem callee changed)
+            (direct_callees new_program name) ))
+      changed
+  in
+  { m = machine;
+    new_code = Dr_interp.Lower.lower_program new_program;
+    changed;
+    changed_callees;
+    replaced_rev = [];
+    steps = 0 }
+
+let changed_procs t = t.changed
+
+let outstanding t =
+  List.filter (fun name -> not (List.mem name t.replaced_rev)) t.changed
+
+let replaceable t name =
+  (not (List.mem name t.replaced_rev))
+  && (not (List.mem name (Machine.stack_procs t.m)))
+  && List.for_all
+       (fun callee ->
+         String.equal callee name (* self-recursion: no ordering constraint *)
+         || List.mem callee t.replaced_rev)
+       (Option.value ~default:[] (List.assoc_opt name t.changed_callees))
+
+let attempt_replacements t =
+  (* Fixpoint: replacing one procedure can unblock its callers. *)
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    List.iter
+      (fun name ->
+        if replaceable t name then begin
+          (match Hashtbl.find_opt t.new_code name with
+          | Some code -> Machine.replace_proc_code t.m code
+          | None -> ());
+          t.replaced_rev <- name :: t.replaced_rev;
+          continue := true
+        end)
+      t.changed
+  done
+
+let step t =
+  if Machine.status t.m = Machine.Ready then begin
+    Machine.step t.m;
+    t.steps <- t.steps + 1
+  end;
+  attempt_replacements t
+
+let progress t =
+  { replaced = List.rev t.replaced_rev;
+    outstanding = outstanding t;
+    steps_run = t.steps;
+    completed = outstanding t = [] }
+
+let run t ~max_steps =
+  attempt_replacements t;
+  let budget = ref max_steps in
+  while
+    outstanding t <> [] && Machine.status t.m = Machine.Ready && !budget > 0
+  do
+    step t;
+    decr budget
+  done;
+  progress t

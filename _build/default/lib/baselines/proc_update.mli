@@ -1,0 +1,42 @@
+(** Procedure-level update baseline (Frieder & Segal [4]; paper §4).
+
+    "The program is updated by replacing each procedure when it is not
+    executing. To maintain consistency ... they perform the update from
+    the bottom up, by allowing a procedure to be replaced only after all
+    the procedures it invokes have been replaced. ... when the main
+    procedure has changed, the update cannot complete until the program
+    terminates."
+
+    The updater interleaves with a running machine: between instructions
+    it replaces any changed procedure that (a) is not on the activation
+    record stack and (b) whose changed callees have all been replaced
+    already. The benchmark compares completion against the paper's
+    statement-level approach for leaf-, mid- and main-level changes. *)
+
+type progress = {
+  replaced : string list;     (** procedures swapped so far, in order *)
+  outstanding : string list;  (** changed procedures still waiting *)
+  steps_run : int;            (** instructions executed while updating *)
+  completed : bool;
+}
+
+type t
+
+val create :
+  machine:Dr_interp.Machine.t ->
+  old_program:Dr_lang.Ast.program ->
+  new_program:Dr_lang.Ast.program ->
+  t
+(** [new_program] must declare the same procedure names; the changed set
+    is computed structurally. *)
+
+val changed_procs : t -> string list
+
+val step : t -> unit
+(** One machine instruction, then attempt replacements. *)
+
+val run : t -> max_steps:int -> progress
+(** Step until the update completes, the machine stops, or the budget is
+    exhausted. *)
+
+val progress : t -> progress

@@ -1,0 +1,69 @@
+module Bus = Dr_bus.Bus
+module Machine = Dr_interp.Machine
+
+type outcome = { waited : float; attempts : int; completed : bool }
+
+let is_quiescent bus ~instance ~ifaces =
+  match Bus.process_status bus ~instance with
+  | Some (Machine.Sleeping _) | Some (Machine.Blocked_read _) ->
+    List.for_all
+      (fun iface -> Bus.pending_messages bus (instance, iface) = 0)
+      ifaces
+  | Some Machine.Ready | Some Machine.Halted | Some (Machine.Crashed _)
+  | Some Machine.Blocked_decode | None ->
+    false
+
+let retarget_routes bus ~instance ~new_instance =
+  List.iter
+    (fun ((src : Bus.endpoint), (dst : Bus.endpoint)) ->
+      if String.equal (fst src) instance then begin
+        Bus.del_route bus ~src ~dst;
+        Bus.add_route bus ~src:(new_instance, snd src) ~dst
+      end
+      else if String.equal (fst dst) instance then begin
+        Bus.del_route bus ~src ~dst;
+        Bus.add_route bus ~src ~dst:(new_instance, snd dst)
+      end)
+    (Bus.all_routes bus)
+
+let update_when_quiescent bus ~instance ~new_instance ?new_module
+    ?(poll_interval = 1.0) ?(give_up_after = 10_000.0) ~on_done () =
+  let started = Bus.now bus in
+  let ifaces =
+    match Bus.instance_spec bus ~instance with
+    | Some spec -> List.map (fun i -> i.Dr_mil.Spec.if_name) spec.ifaces
+    | None ->
+      List.sort_uniq String.compare
+        (List.filter_map
+           (fun ((_, (dst : Bus.endpoint)) : Bus.endpoint * Bus.endpoint) ->
+             if String.equal (fst dst) instance then Some (snd dst) else None)
+           (Bus.all_routes bus))
+  in
+  let module_name =
+    match new_module, Bus.instance_module bus ~instance with
+    | Some m, _ -> Some m
+    | None, m -> m
+  in
+  let attempts = ref 0 in
+  let rec poll () =
+    incr attempts;
+    let waited = Bus.now bus -. started in
+    if is_quiescent bus ~instance ~ifaces then begin
+      let spec = Bus.instance_spec bus ~instance in
+      let host = Option.value ~default:"?" (Bus.instance_host bus ~instance) in
+      Bus.kill bus ~instance;
+      match module_name with
+      | None -> on_done (Error (Printf.sprintf "no such instance %s" instance))
+      | Some module_name -> (
+        match Bus.spawn bus ~instance:new_instance ~module_name ~host ?spec () with
+        | Error e -> on_done (Error e)
+        | Ok () ->
+          retarget_routes bus ~instance ~new_instance;
+          on_done (Ok { waited; attempts = !attempts; completed = true }))
+    end
+    else if waited >= give_up_after then
+      on_done (Ok { waited; attempts = !attempts; completed = false })
+    else
+      Dr_sim.Engine.schedule (Bus.engine bus) ~delay:poll_interval poll
+  in
+  poll ()

@@ -1,0 +1,38 @@
+(** Module-level atomicity baseline (paper §4).
+
+    "If the reconfiguration is atomic at the module level ... a module
+    cannot be updated while it is executing. Platforms providing this
+    level of support are those that reconfigure without module
+    participation, such as [9]."
+
+    The updater waits until the target instance is {e quiescent} — not
+    executing (sleeping or blocked) with empty message queues — and only
+    then swaps in the replacement, which starts {b fresh} (no process
+    state survives: that is precisely the limitation module participation
+    removes). A busy module postpones the update indefinitely; the
+    benchmark measures the wait against the module's duty cycle. *)
+
+type outcome = {
+  waited : float;          (** virtual time from request to swap *)
+  attempts : int;          (** quiescence checks performed *)
+  completed : bool;
+}
+
+val is_quiescent : Dr_bus.Bus.t -> instance:string -> ifaces:string list -> bool
+(** Sleeping or blocked, with no pending messages on the given
+    interfaces. *)
+
+val update_when_quiescent :
+  Dr_bus.Bus.t ->
+  instance:string ->
+  new_instance:string ->
+  ?new_module:string ->
+  ?poll_interval:float ->
+  ?give_up_after:float ->
+  on_done:((outcome, string) result -> unit) ->
+  unit ->
+  unit
+(** Poll for quiescence; on success kill the old instance, start the new
+    one fresh (status "normal", no state transfer) and retarget its
+    routes. Gives up after [give_up_after] virtual time (reporting
+    [completed = false] via [Ok]). *)

@@ -1,0 +1,32 @@
+(** Heterogeneous process migration by recompilation (Theimer & Hayes
+    [10]; paper §4).
+
+    Where the paper's approach prepares a module for {e all} possible
+    reconfigurations at compile time, [10] generates a
+    machine-independent {e migration program} at migration time for the
+    one specific captured state: "modified versions of the procedures in
+    the activation record stack ... initialize local variables, call the
+    next modified procedure in the call stack, and arrange to resume
+    execution in the original procedure."
+
+    [synthesize] reproduces that idea: given an instrumented module and
+    a captured state image, it emits a {b self-contained} MiniProc
+    program with every captured value baked in as a literal — heap
+    blocks are rebuilt by a generated [mig_setup] procedure, each
+    restore block's [mh_restore] is replaced by per-invocation literal
+    assignments, and [mh_decode]/the clone-status check disappear. The
+    result needs no restore buffer: started as an ordinary module, it
+    rebuilds its stack and resumes at the reconfiguration point.
+
+    The trade-off measured in the benchmarks: [10] pays
+    synthesis + compilation at migration time and needs a fresh program
+    per migration; the paper's approach pays instrumentation once at
+    compile time and ships only the state image. *)
+
+val synthesize :
+  prepared:Dr_transform.Instrument.prepared ->
+  image:Dr_state.Image.t ->
+  (Dr_lang.Ast.program, string) result
+(** Fails when the image does not match the module (unknown resume
+    locations, wrong record shapes) or when a heap block has a
+    non-scalar element type (MiniProc allocators are scalar-only). *)

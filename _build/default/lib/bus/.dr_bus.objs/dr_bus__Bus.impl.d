@@ -1,0 +1,1 @@
+lib/bus/bus.ml: Dr_interp Dr_lang Dr_mil Dr_sim Dr_state Float Fmt Format Hashtbl List Option Printf Queue String

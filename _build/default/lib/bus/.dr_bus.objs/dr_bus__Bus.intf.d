@@ -1,0 +1,1 @@
+lib/bus/bus.mli: Dr_interp Dr_lang Dr_mil Dr_sim Dr_state

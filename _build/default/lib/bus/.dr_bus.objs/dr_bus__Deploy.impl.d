@@ -1,0 +1,1 @@
+lib/bus/deploy.ml: Bus Dr_mil List Option Printf Result String

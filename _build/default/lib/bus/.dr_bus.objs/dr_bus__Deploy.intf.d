@@ -1,0 +1,1 @@
+lib/bus/deploy.mli: Bus Dr_mil

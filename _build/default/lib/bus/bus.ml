@@ -1,0 +1,496 @@
+module Engine = Dr_sim.Engine
+module Trace = Dr_sim.Trace
+module Machine = Dr_interp.Machine
+module Value = Dr_state.Value
+module Image = Dr_state.Image
+
+type host = { host_name : string; arch : Dr_state.Arch.t }
+
+type endpoint = string * string
+
+type params = {
+  instr_cost : float;
+  quantum : int;
+  local_latency : float;
+  remote_latency : float;
+}
+
+let default_params =
+  { instr_cost = 0.01; quantum = 64; local_latency = 0.1; remote_latency = 1.0 }
+
+type process = {
+  p_instance : string;
+  p_module : string;
+  mutable p_host : host;
+  p_spec : Dr_mil.Spec.module_spec option;
+  p_machine : Machine.t;
+  p_queues : (string, Value.t Queue.t) Hashtbl.t;
+  mutable p_outputs : string list;  (* reverse order *)
+  mutable p_divulged : Image.t list;  (* queue of divulged images *)
+  mutable p_on_divulge : (Image.t -> unit) option;
+  mutable p_alive : bool;
+  mutable p_scheduled : bool;
+  p_started : float;
+  mutable p_ended : float option;
+}
+
+type t = {
+  engine : Engine.t;
+  trace : Trace.t;
+  bus_params : params;
+  bus_hosts : host list;
+  programs :
+    (string, Dr_lang.Ast.program * (string, Dr_interp.Ir.proc_code) Hashtbl.t)
+    Hashtbl.t;
+  mutable procs : process list;
+  mutable routes : (endpoint * endpoint) list;
+}
+
+let create ?(params = default_params) ~hosts () =
+  { engine = Engine.create ();
+    trace = Trace.create ();
+    bus_params = params;
+    bus_hosts = hosts;
+    programs = Hashtbl.create 8;
+    procs = [];
+    routes = [] }
+
+let engine t = t.engine
+let trace t = t.trace
+let now t = Engine.now t.engine
+let params t = t.bus_params
+let hosts t = t.bus_hosts
+
+let find_host t name =
+  List.find_opt (fun h -> String.equal h.host_name name) t.bus_hosts
+
+let record t category fmt =
+  Format.kasprintf
+    (fun detail -> Trace.record t.trace ~time:(now t) ~category ~detail)
+    fmt
+
+let find_proc t instance =
+  List.find_opt
+    (fun p -> p.p_alive && String.equal p.p_instance instance)
+    t.procs
+
+(* ------------------------------------------------------------ programs *)
+
+let register_program t (program : Dr_lang.Ast.program) =
+  match Dr_lang.Typecheck.check program with
+  | Error errors ->
+    Error
+      (Fmt.str "%s does not typecheck: %a" program.module_name
+         (Fmt.list ~sep:(Fmt.any "; ") Dr_lang.Typecheck.pp_error)
+         errors)
+  | Ok () ->
+    let code = Dr_interp.Lower.lower_program program in
+    Hashtbl.replace t.programs program.module_name (program, code);
+    Ok ()
+
+let registered_program t name =
+  Option.map fst (Hashtbl.find_opt t.programs name)
+
+let registered_modules t =
+  List.sort String.compare
+    (Hashtbl.fold (fun name _ acc -> name :: acc) t.programs [])
+
+(* ----------------------------------------------------------- scheduling *)
+
+let latency t src_host dst_host =
+  if String.equal src_host.host_name dst_host.host_name then
+    t.bus_params.local_latency
+  else t.bus_params.remote_latency
+
+let rec schedule_quantum t p ~delay =
+  if p.p_alive && not p.p_scheduled then begin
+    p.p_scheduled <- true;
+    Engine.schedule t.engine ~delay (fun () -> run_quantum t p)
+  end
+
+and run_quantum t p =
+  p.p_scheduled <- false;
+  if p.p_alive then begin
+    let before = Machine.instr_count p.p_machine in
+    let budget = t.bus_params.quantum in
+    let steps = ref 0 in
+    while Machine.status p.p_machine = Machine.Ready && !steps < budget do
+      Machine.step p.p_machine;
+      incr steps
+    done;
+    let executed = Machine.instr_count p.p_machine - before in
+    let cost = float_of_int executed *. t.bus_params.instr_cost in
+    match Machine.status p.p_machine with
+    | Machine.Ready -> schedule_quantum t p ~delay:(Float.max cost t.bus_params.instr_cost)
+    | Machine.Sleeping duration ->
+      Engine.schedule t.engine ~delay:(cost +. duration) (fun () ->
+          if p.p_alive then begin
+            Machine.set_ready p.p_machine;
+            schedule_quantum t p ~delay:0.0
+          end)
+    | Machine.Blocked_read _ | Machine.Blocked_decode ->
+      (* parked: woken by message/state arrival *)
+      ()
+    | Machine.Halted -> record t "halt" "%s halted" p.p_instance
+    | Machine.Crashed message ->
+      record t "crash" "%s crashed: %s" p.p_instance message
+  end
+
+let wake_endpoint t p iface =
+  match Machine.status p.p_machine with
+  | Machine.Blocked_read blocked_iface when String.equal blocked_iface iface ->
+    Machine.set_ready p.p_machine;
+    schedule_quantum t p ~delay:0.0
+  | _ -> ()
+
+(* -------------------------------------------------------------- routes *)
+
+let endpoint_equal (a1, a2) (b1, b2) = String.equal a1 b1 && String.equal a2 b2
+
+let add_route t ~src ~dst =
+  if
+    not
+      (List.exists
+         (fun (s, d) -> endpoint_equal s src && endpoint_equal d dst)
+         t.routes)
+  then begin
+    t.routes <- t.routes @ [ (src, dst) ];
+    record t "bind" "add %s.%s -> %s.%s" (fst src) (snd src) (fst dst) (snd dst)
+  end
+
+let del_route t ~src ~dst =
+  t.routes <-
+    List.filter
+      (fun (s, d) -> not (endpoint_equal s src && endpoint_equal d dst))
+      t.routes;
+  record t "bind" "del %s.%s -> %s.%s" (fst src) (snd src) (fst dst) (snd dst)
+
+let routes_from t src =
+  List.filter_map
+    (fun (s, d) -> if endpoint_equal s src then Some d else None)
+    t.routes
+
+let routes_to t dst =
+  List.filter_map
+    (fun (s, d) -> if endpoint_equal d dst then Some s else None)
+    t.routes
+
+let all_routes t = t.routes
+
+(* -------------------------------------------------------------- queues *)
+
+let queue_of p iface =
+  match Hashtbl.find_opt p.p_queues iface with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace p.p_queues iface q;
+    q
+
+let pending_messages t (instance, iface) =
+  match find_proc t instance with
+  | None -> 0
+  | Some p -> Queue.length (queue_of p iface)
+
+let deliver t ~dst value =
+  let instance, iface = dst in
+  match find_proc t instance with
+  | None -> record t "drop" "message for dead instance %s.%s" instance iface
+  | Some p ->
+    Queue.add value (queue_of p iface);
+    wake_endpoint t p iface
+
+let inject t ~dst value = deliver t ~dst value
+
+let copy_queue t ~src ~dst =
+  match find_proc t (fst src) with
+  | None -> ()
+  | Some sp ->
+    let q = queue_of sp (snd src) in
+    let moved = Queue.length q in
+    Queue.iter (fun v -> deliver t ~dst v) q;
+    Queue.clear q;
+    record t "queue" "cq %s.%s -> %s.%s (%d message(s))" (fst src) (snd src)
+      (fst dst) (snd dst) moved
+
+let take_queue t ep =
+  match find_proc t (fst ep) with
+  | None -> []
+  | Some p ->
+    let q = queue_of p (snd ep) in
+    let values = List.of_seq (Queue.to_seq q) in
+    Queue.clear q;
+    values
+
+let drop_queue t ep =
+  match find_proc t (fst ep) with
+  | None -> ()
+  | Some p ->
+    let q = queue_of p (snd ep) in
+    let dropped = Queue.length q in
+    Queue.clear q;
+    record t "queue" "rmq %s.%s (%d message(s))" (fst ep) (snd ep) dropped
+
+(* ------------------------------------------------------------- send *)
+
+(* If the destination died while the message was in flight (it was
+   replaced by a reconfiguration), re-resolve the current routes: the
+   paper's bus applies rebinding commands atomically, so traffic follows
+   the new bindings. *)
+let deliver_or_redirect t ~src ~dst value =
+  match find_proc t (fst dst) with
+  | Some _ -> deliver t ~dst value
+  | None -> (
+    match routes_from t src with
+    | [] -> record t "drop" "in-flight message from %s.%s lost" (fst src) (snd src)
+    | dsts -> List.iter (fun dst -> deliver t ~dst value) dsts)
+
+let route_message t p iface value =
+  let src = (p.p_instance, iface) in
+  let dsts = routes_from t src in
+  if dsts = [] then
+    record t "drop" "%s.%s has no binding; message discarded" p.p_instance iface
+  else
+    List.iter
+      (fun dst ->
+        let dst_host =
+          match find_proc t (fst dst) with
+          | Some dp -> dp.p_host
+          | None -> p.p_host
+        in
+        let delay = latency t p.p_host dst_host in
+        Engine.schedule t.engine ~delay (fun () ->
+            deliver_or_redirect t ~src ~dst value))
+      dsts
+
+(* -------------------------------------------------------------- spawn *)
+
+(* The io closures need the process record, and the process record needs
+   the machine built over the io: tie the knot with a forward reference,
+   resolved before the machine ever steps. *)
+let instance_io t (p_ref : process option ref) : Dr_interp.Io_intf.t =
+  let the_proc () =
+    match !p_ref with
+    | Some p -> p
+    | None -> invalid_arg "bus: io used before the process was registered"
+  in
+  { io_query =
+      (fun iface -> not (Queue.is_empty (queue_of (the_proc ()) iface)));
+    io_read =
+      (fun iface ->
+        let q = queue_of (the_proc ()) iface in
+        if Queue.is_empty q then None else Some (Queue.take q));
+    io_write = (fun iface value -> route_message t (the_proc ()) iface value);
+    io_print =
+      (fun line ->
+        let p = the_proc () in
+        p.p_outputs <- line :: p.p_outputs;
+        record t "print" "%s: %s" p.p_instance line);
+    io_now = (fun () -> now t);
+    io_encode =
+      (fun image ->
+        let p = the_proc () in
+        record t "state" "%s divulged %d record(s), %d byte(s)" p.p_instance
+          (Image.depth image) (Image.byte_size image);
+        match p.p_on_divulge with
+        | Some callback ->
+          p.p_on_divulge <- None;
+          callback image
+        | None -> p.p_divulged <- p.p_divulged @ [ image ]);
+    io_decode = (fun () -> None)
+      (* images arrive via [deposit_state], which feeds the machine
+         directly; mh_decode blocks otherwise *) }
+
+let spawn t ~instance ~module_name ~host ?spec ?(status = "normal") () =
+  match find_proc t instance with
+  | Some _ -> Error (Printf.sprintf "instance %s already exists" instance)
+  | None -> (
+    match find_host t host with
+    | None -> Error (Printf.sprintf "unknown host %s" host)
+    | Some h -> (
+      match Hashtbl.find_opt t.programs module_name with
+      | None -> Error (Printf.sprintf "module %s is not registered" module_name)
+      | Some (program, code) ->
+        let p_ref = ref None in
+        let io = instance_io t p_ref in
+        let machine = Machine.create ~status_attr:status ~io ~code program in
+        let p =
+          { p_instance = instance;
+            p_module = module_name;
+            p_host = h;
+            p_spec = spec;
+            p_machine = machine;
+            p_queues = Hashtbl.create 8;
+            p_outputs = [];
+            p_divulged = [];
+            p_on_divulge = None;
+            p_alive = true;
+            p_scheduled = false;
+            p_started = now t;
+            p_ended = None }
+        in
+        p_ref := Some p;
+        t.procs <- t.procs @ [ p ];
+        record t "lifecycle" "%s (%s) started on %s as %s" instance module_name
+          h.host_name status;
+        schedule_quantum t p ~delay:0.0;
+        Ok ()))
+
+let spawn_snapshot t ~of_instance ~instance ~host =
+  match find_proc t instance with
+  | Some _ -> Error (Printf.sprintf "instance %s already exists" instance)
+  | None -> (
+    match find_proc t of_instance with
+    | None -> Error (Printf.sprintf "no such instance %s" of_instance)
+    | Some source -> (
+      match find_host t host with
+      | None -> Error (Printf.sprintf "unknown host %s" host)
+      | Some h ->
+        let p_ref = ref None in
+        let io = instance_io t p_ref in
+        let machine = Machine.clone source.p_machine ~io in
+        let p =
+          { p_instance = instance;
+            p_module = source.p_module;
+            p_host = h;
+            p_spec = source.p_spec;
+            p_machine = machine;
+            p_queues = Hashtbl.create 8;
+            p_outputs = [];
+            p_divulged = [];
+            p_on_divulge = None;
+            p_alive = true;
+            p_scheduled = false;
+            p_started = now t;
+            p_ended = None }
+        in
+        p_ref := Some p;
+        t.procs <- t.procs @ [ p ];
+        record t "lifecycle" "%s snapshot-cloned as %s on %s" of_instance
+          instance h.host_name;
+        (* re-arm scheduling for whatever state the snapshot was in *)
+        (match Machine.status machine with
+        | Machine.Ready -> schedule_quantum t p ~delay:0.0
+        | Machine.Sleeping duration ->
+          Engine.schedule t.engine ~delay:duration (fun () ->
+              if p.p_alive then begin
+                Machine.set_ready p.p_machine;
+                schedule_quantum t p ~delay:0.0
+              end)
+        | Machine.Blocked_read _ | Machine.Blocked_decode ->
+          ()  (* woken by message/state arrival *)
+        | Machine.Halted | Machine.Crashed _ -> ());
+        Ok ()))
+
+let kill t ~instance =
+  match find_proc t instance with
+  | None -> ()
+  | Some p ->
+    p.p_alive <- false;
+    p.p_ended <- Some (now t);
+    record t "lifecycle" "%s removed" instance
+
+type roster_entry = {
+  r_instance : string;
+  r_module : string;
+  r_host : string;
+  r_status : Machine.status option;
+  r_started : float;
+  r_ended : float option;
+  r_instrs : int;
+}
+
+let roster t =
+  List.map
+    (fun p ->
+      { r_instance = p.p_instance;
+        r_module = p.p_module;
+        r_host = p.p_host.host_name;
+        r_status = (if p.p_alive then Some (Machine.status p.p_machine) else None);
+        r_started = p.p_started;
+        r_ended = p.p_ended;
+        r_instrs = Machine.instr_count p.p_machine })
+    t.procs
+
+let instances t =
+  List.filter_map (fun p -> if p.p_alive then Some p.p_instance else None) t.procs
+
+let instance_host t ~instance =
+  Option.map (fun p -> p.p_host.host_name) (find_proc t instance)
+
+let instance_spec t ~instance =
+  Option.bind (find_proc t instance) (fun p -> p.p_spec)
+
+let instance_module t ~instance =
+  Option.map (fun p -> p.p_module) (find_proc t instance)
+
+let machine t ~instance = Option.map (fun p -> p.p_machine) (find_proc t instance)
+
+let process_status t ~instance =
+  Option.map (fun p -> Machine.status p.p_machine) (find_proc t instance)
+
+let outputs t ~instance =
+  (* history stays readable after an instance is removed; when a name was
+     reused (replication restarts the original in place), prefer the live
+     incarnation, then the most recent dead one *)
+  let matching =
+    List.filter (fun p -> String.equal p.p_instance instance) t.procs
+  in
+  match List.find_opt (fun p -> p.p_alive) matching with
+  | Some p -> List.rev p.p_outputs
+  | None -> (
+    match List.rev matching with
+    | p :: _ -> List.rev p.p_outputs
+    | [] -> [])
+
+let wake t ~instance =
+  match find_proc t instance with
+  | None -> ()
+  | Some p ->
+    Machine.set_ready p.p_machine;
+    schedule_quantum t p ~delay:0.0
+
+let signal_reconfig t ~instance =
+  match find_proc t instance with
+  | None -> ()
+  | Some p ->
+    record t "signal" "reconfiguration signal -> %s" instance;
+    Machine.deliver_signal p.p_machine
+
+let on_divulge t ~instance callback =
+  match find_proc t instance with
+  | None -> ()
+  | Some p -> (
+    match p.p_divulged with
+    | image :: rest ->
+      p.p_divulged <- rest;
+      callback image
+    | [] -> p.p_on_divulge <- Some callback)
+
+let take_divulged t ~instance =
+  match find_proc t instance with
+  | None -> None
+  | Some p -> (
+    match p.p_divulged with
+    | image :: rest ->
+      p.p_divulged <- rest;
+      Some image
+    | [] -> None)
+
+let deposit_state t ~instance image =
+  match find_proc t instance with
+  | None -> ()
+  | Some p ->
+    record t "state" "state image deposited into %s" instance;
+    Machine.feed_image p.p_machine image;
+    schedule_quantum t p ~delay:0.0
+
+let run ?until ?max_events t = Engine.run ?until ?max_events t.engine
+
+let run_while t ?(max_events = max_int) predicate =
+  let fired = ref 0 in
+  while predicate () && !fired < max_events && Engine.step t.engine do
+    incr fired
+  done
+
+let quiescent t = Engine.pending t.engine = 0

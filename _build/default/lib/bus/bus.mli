@@ -1,0 +1,164 @@
+(** The software toolbus (POLYLITH's role in the paper).
+
+    The bus owns the simulated world: hosts (each with an architecture),
+    running module instances (MiniProc machines), per-interface message
+    queues, directed message routes, and the discrete-event engine that
+    interleaves everything deterministically.
+
+    Responsibilities mirror the paper's description of POLYLITH:
+    initiating execution of each module, establishing communication
+    channels, routing messages (with inter-host latency and
+    heterogeneous re-encoding), reporting the current configuration, and
+    carrying divulged state between interfaces during reconfiguration. *)
+
+type host = { host_name : string; arch : Dr_state.Arch.t }
+
+type endpoint = string * string
+(** (instance name, interface name) *)
+
+type params = {
+  instr_cost : float;       (** virtual time per executed instruction *)
+  quantum : int;            (** max instructions per scheduling slice *)
+  local_latency : float;    (** message latency within a host *)
+  remote_latency : float;   (** message latency across hosts *)
+}
+
+val default_params : params
+
+type t
+
+val create : ?params:params -> hosts:host list -> unit -> t
+
+val engine : t -> Dr_sim.Engine.t
+val trace : t -> Dr_sim.Trace.t
+val now : t -> float
+val params : t -> params
+
+val hosts : t -> host list
+val find_host : t -> string -> host option
+
+(** {1 Programs and processes} *)
+
+val register_program : t -> Dr_lang.Ast.program -> (unit, string) result
+(** Typecheck, lower once, and file under the program's module name. *)
+
+val registered_modules : t -> string list
+
+val registered_program : t -> string -> Dr_lang.Ast.program option
+
+val spawn :
+  t ->
+  instance:string ->
+  module_name:string ->
+  host:string ->
+  ?spec:Dr_mil.Spec.module_spec ->
+  ?status:string ->
+  unit ->
+  (unit, string) result
+(** Start an instance of a registered module on a host and schedule its
+    first quantum. [status] is returned by [mh_getstatus] ("normal" by
+    default; pass "clone" for a restoration). *)
+
+val kill : t -> instance:string -> unit
+(** Remove a process: it stops running, its routes remain until deleted
+    explicitly (reconfiguration scripts delete them). *)
+
+val spawn_snapshot :
+  t ->
+  of_instance:string ->
+  instance:string ->
+  host:string ->
+  (unit, string) result
+(** Machine-specific cloning (the strawman of §1.2, used by the
+    baselines): deep-copy the running machine of [of_instance] —
+    program counters, frames, heap, everything — into a new process on
+    [host]. No architecture translation is possible for such a snapshot;
+    callers must enforce same-architecture moves themselves. *)
+
+val instances : t -> string list
+(** Names of live instances. *)
+
+val instance_host : t -> instance:string -> string option
+
+val instance_spec : t -> instance:string -> Dr_mil.Spec.module_spec option
+
+val instance_module : t -> instance:string -> string option
+
+val machine : t -> instance:string -> Dr_interp.Machine.t option
+(** Direct access to the underlying machine (tests, benchmarks,
+    baselines). *)
+
+val process_status : t -> instance:string -> Dr_interp.Machine.status option
+
+val outputs : t -> instance:string -> string list
+(** Lines printed by the instance so far, oldest first. *)
+
+type roster_entry = {
+  r_instance : string;
+  r_module : string;
+  r_host : string;
+  r_status : Dr_interp.Machine.status option;  (** [None] once removed *)
+  r_started : float;
+  r_ended : float option;  (** removal time *)
+  r_instrs : int;
+}
+
+val roster : t -> roster_entry list
+(** Every instance ever spawned, in spawn order — including removed
+    ones. Used by reporting and the benchmarks. *)
+
+val wake : t -> instance:string -> unit
+(** Force a blocked/sleeping machine ready and reschedule it. *)
+
+(** {1 Routes and queues} *)
+
+val add_route : t -> src:endpoint -> dst:endpoint -> unit
+(** Messages written at [src] are delivered to [dst]'s queue. *)
+
+val del_route : t -> src:endpoint -> dst:endpoint -> unit
+
+val routes_from : t -> endpoint -> endpoint list
+
+val routes_to : t -> endpoint -> endpoint list
+
+val all_routes : t -> (endpoint * endpoint) list
+
+val pending_messages : t -> endpoint -> int
+(** Queue length at a receiving endpoint. *)
+
+val copy_queue : t -> src:endpoint -> dst:endpoint -> unit
+(** Move the pending messages of [src] to [dst] (the script command
+    ["cq"] in Fig. 5). *)
+
+val drop_queue : t -> endpoint -> unit
+(** Discard pending messages (["rmq"]). *)
+
+val take_queue : t -> endpoint -> Dr_state.Value.t list
+(** Drain and return the pending messages, oldest first (used by scripts
+    that must park messages while an instance is swapped). *)
+
+val inject : t -> dst:endpoint -> Dr_state.Value.t -> unit
+(** Test/driver helper: place a message directly in a queue. *)
+
+(** {1 Reconfiguration support} *)
+
+val signal_reconfig : t -> instance:string -> unit
+(** Deliver the reconfiguration signal (SIGHUP in the paper). *)
+
+val on_divulge : t -> instance:string -> (Dr_state.Image.t -> unit) -> unit
+(** One-shot callback invoked when the instance runs [mh_encode]. *)
+
+val take_divulged : t -> instance:string -> Dr_state.Image.t option
+
+val deposit_state : t -> instance:string -> Dr_state.Image.t -> unit
+(** Hand a state image to a (possibly blocked) [mh_decode]. *)
+
+(** {1 Running} *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+val run_while : t -> ?max_events:int -> (unit -> bool) -> unit
+(** Keep firing events while the predicate holds and events remain. *)
+
+val quiescent : t -> bool
+(** No events pending (all processes parked or finished). *)

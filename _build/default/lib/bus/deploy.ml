@@ -1,0 +1,75 @@
+module Spec = Dr_mil.Spec
+
+let ( let* ) = Result.bind
+
+let iface_role config app endpoint =
+  let inst_name, if_name = endpoint in
+  match Spec.find_instance app inst_name with
+  | None -> None
+  | Some inst -> (
+    match Spec.find_module config inst.inst_module with
+    | None -> None
+    | Some m ->
+      Option.map (fun i -> i.Spec.role) (Spec.find_iface m if_name))
+
+let routes_of_bind config app (bind : Spec.binding_decl) =
+  match iface_role config app bind.b_from, iface_role config app bind.b_to with
+  | Some Spec.Client, Some Spec.Server ->
+    [ (bind.b_from, bind.b_to); (bind.b_to, bind.b_from) ]
+  | Some _, Some _ | None, _ | _, None -> [ (bind.b_from, bind.b_to) ]
+
+let host_for (config : Spec.config) (inst : Spec.instance_decl) ~default_host =
+  match inst.inst_host with
+  | Some h -> h
+  | None -> (
+    match Spec.find_module config inst.inst_module with
+    | Some { machine = Some h; _ } -> h
+    | Some _ | None -> default_host)
+
+let deploy bus ~config ~app ~default_host =
+  let* () =
+    match Dr_mil.Validate.validate config with
+    | Ok () -> Ok ()
+    | Error errors -> Error (String.concat "; " errors)
+  in
+  let* application =
+    match Spec.find_app config app with
+    | Some a -> Ok a
+    | None -> Error (Printf.sprintf "no application %s in the configuration" app)
+  in
+  (* Cross-check each instantiated module's program against its spec. *)
+  let* () =
+    List.fold_left
+      (fun acc (inst : Spec.instance_decl) ->
+        let* () = acc in
+        match Spec.find_module config inst.inst_module with
+        | None -> Ok ()  (* caught by validate *)
+        | Some m -> (
+          match Bus.registered_program bus inst.inst_module with
+          | None ->
+            Error
+              (Printf.sprintf "module %s has no registered program"
+                 inst.inst_module)
+          | Some program -> (
+            match Dr_mil.Validate.check_program_against_spec m program with
+            | Ok () -> Ok ()
+            | Error errors -> Error (String.concat "; " errors))))
+      (Ok ()) application.instances
+  in
+  let* () =
+    List.fold_left
+      (fun acc (inst : Spec.instance_decl) ->
+        let* () = acc in
+        let spec = Spec.find_module config inst.inst_module in
+        let host = host_for config inst ~default_host in
+        Bus.spawn bus ~instance:inst.inst_name ~module_name:inst.inst_module
+          ~host ?spec ())
+      (Ok ()) application.instances
+  in
+  List.iter
+    (fun bind ->
+      List.iter
+        (fun (src, dst) -> Bus.add_route bus ~src ~dst)
+        (routes_of_bind config application bind))
+    application.binds;
+  Ok ()

@@ -1,0 +1,1 @@
+lib/core/dynrecon.ml: Dr_analysis Dr_baselines Dr_bus Dr_interp Dr_lang Dr_mil Dr_opt Dr_reconfig Dr_sim Dr_state Dr_transform System

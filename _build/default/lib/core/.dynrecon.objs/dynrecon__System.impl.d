@@ -1,0 +1,1 @@
+lib/core/system.ml: Dr_bus Dr_lang Dr_mil Dr_opt Dr_reconfig Dr_transform Fmt List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/core/system.mli: Dr_bus Dr_lang Dr_mil Dr_transform

@@ -1,0 +1,38 @@
+(** Dynrecon: dynamic reconfiguration of distributed applications.
+
+    An OCaml reproduction of Hofmeister & Purtilo, {e "Dynamic
+    Reconfiguration in Distributed Systems: Adapting Software Modules
+    for Replacement"} (ICDCS 1993): a platform that automatically
+    prepares software modules to participate in dynamic reconfiguration
+    — capturing and restoring their process state, including the
+    activation-record stack, at programmer-designated reconfiguration
+    points.
+
+    Layer map (bottom up):
+    - {!Sim}: deterministic discrete-event kernel;
+    - {!Lang}: MiniProc, the module source language (AST, lexer, parser,
+      typechecker, printer);
+    - {!State}: runtime values, abstract state images, portable codecs
+      and architectures;
+    - {!Analysis}: static call graph, reconfiguration graph, liveness;
+    - {!Transform}: the automatic capture/restore instrumentation;
+    - {!Interp}: the MiniProc abstract machine;
+    - {!Mil}: the configuration language;
+    - {!Bus}: the software toolbus (hosts, routing, queues, scheduling);
+    - {!Reconfig}: reconfiguration primitives and scripts;
+    - {!Baselines}: checkpointing, quiescence and procedure-level-update
+      comparison systems;
+    - {!System}: the end-to-end facade. *)
+
+module Sim = Dr_sim
+module Lang = Dr_lang
+module State = Dr_state
+module Analysis = Dr_analysis
+module Transform = Dr_transform
+module Interp = Dr_interp
+module Mil = Dr_mil
+module Bus = Dr_bus
+module Reconfig = Dr_reconfig
+module Baselines = Dr_baselines
+module Opt = Dr_opt
+module System = System

@@ -1,0 +1,1 @@
+lib/interp/io_intf.ml: Dr_state

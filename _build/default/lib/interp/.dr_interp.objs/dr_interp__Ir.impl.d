@@ -1,0 +1,1 @@
+lib/interp/ir.ml: Array Dr_lang Fmt

@@ -1,0 +1,1 @@
+lib/interp/lower.ml: Array Ast Dr_lang Hashtbl Ir List Option Printf Typecheck

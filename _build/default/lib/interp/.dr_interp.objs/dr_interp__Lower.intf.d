@@ -1,0 +1,1 @@
+lib/interp/lower.mli: Dr_lang Hashtbl Ir

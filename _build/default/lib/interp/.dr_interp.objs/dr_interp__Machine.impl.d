@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Ast Dr_lang Dr_state Float Fmt Format Hashtbl Io_intf Ir List Lower Option Printf String

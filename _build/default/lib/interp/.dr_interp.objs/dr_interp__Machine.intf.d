@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Dr_lang Dr_state Format Hashtbl Io_intf Ir

@@ -1,0 +1,63 @@
+(* Linear instruction form that MiniProc procedures are lowered to.
+
+   The structured AST cannot execute [goto] into loop bodies — which the
+   restore blocks of the transformation require — so each procedure body
+   is flattened to an instruction array with explicit jump targets and a
+   per-frame program counter.
+
+   Expressions appearing in instructions are call-free: lowering
+   extracts every [Ast.Call] into its own [Icall] targeting a fresh
+   temporary (A-normal form), and compiles [&&]/[||] to jumps so they
+   short-circuit. *)
+
+type instr =
+  | Iassign of Dr_lang.Ast.lvalue * Dr_lang.Ast.expr
+  | Icall of {
+      callee : string;
+      args : Dr_lang.Ast.expr list;
+      ret_temp : string option;  (* caller temp receiving the result *)
+    }
+  | Ireturn of Dr_lang.Ast.expr option
+  | Ijump of int
+  | Icjump of { cond : Dr_lang.Ast.expr; if_false : int }
+  | Iprint of Dr_lang.Ast.expr list
+  | Isleep of Dr_lang.Ast.expr
+  | Ibuiltin of string * Dr_lang.Ast.arg list
+  | Iskip
+
+type proc_code = {
+  pc_name : string;
+  pc_params : Dr_lang.Ast.param list;
+  pc_ret : Dr_lang.Ast.ty option;
+  pc_locals : (string * Dr_lang.Ast.ty) list;
+  pc_temps : string list;
+  pc_instrs : instr array;
+  pc_labels : (string * int) list;  (* source label -> instruction index *)
+}
+
+let pp_instr ppf = function
+  | Iassign (lv, e) ->
+    Fmt.pf ppf "assign %a = %a" Dr_lang.Pretty.pp_lvalue lv Dr_lang.Pretty.pp_expr e
+  | Icall { callee; args; ret_temp } ->
+    Fmt.pf ppf "call %s(%a)%a" callee
+      (Fmt.list ~sep:(Fmt.any ", ") Dr_lang.Pretty.pp_expr)
+      args
+      (Fmt.option (fun ppf t -> Fmt.pf ppf " -> %s" t))
+      ret_temp
+  | Ireturn None -> Fmt.string ppf "return"
+  | Ireturn (Some e) -> Fmt.pf ppf "return %a" Dr_lang.Pretty.pp_expr e
+  | Ijump target -> Fmt.pf ppf "jump %d" target
+  | Icjump { cond; if_false } ->
+    Fmt.pf ppf "cjump %a else %d" Dr_lang.Pretty.pp_expr cond if_false
+  | Iprint es ->
+    Fmt.pf ppf "print(%a)"
+      (Fmt.list ~sep:(Fmt.any ", ") Dr_lang.Pretty.pp_expr)
+      es
+  | Isleep e -> Fmt.pf ppf "sleep %a" Dr_lang.Pretty.pp_expr e
+  | Ibuiltin (name, _) -> Fmt.pf ppf "builtin %s" name
+  | Iskip -> Fmt.string ppf "skip"
+
+let pp_proc_code ppf code =
+  Fmt.pf ppf "@[<v>proc %s:@," code.pc_name;
+  Array.iteri (fun i instr -> Fmt.pf ppf "  %3d: %a@," i pp_instr instr) code.pc_instrs;
+  Fmt.pf ppf "@]"

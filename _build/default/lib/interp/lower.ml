@@ -1,0 +1,168 @@
+open Dr_lang
+
+exception Lower_error of string
+
+type builder = {
+  mutable instrs : Ir.instr list;  (* reverse order *)
+  mutable count : int;
+  labels : (string, int) Hashtbl.t;
+  mutable fixups : (int * string) list;  (* instr index -> label, for gotos *)
+  mutable temps : string list;
+  mutable next_temp : int;
+}
+
+let emit b instr =
+  b.instrs <- instr :: b.instrs;
+  b.count <- b.count + 1
+
+(* Reserve a slot whose jump target is patched later. Returns the slot's
+   index; [patch] overwrites it. *)
+let emit_placeholder b =
+  emit b (Ir.Ijump (-1));
+  b.count - 1
+
+let patch b index instr =
+  let arr = Array.of_list (List.rev b.instrs) in
+  arr.(index) <- instr;
+  b.instrs <- List.rev (Array.to_list arr)
+
+let fresh_temp b =
+  let name = Printf.sprintf "$t%d" b.next_temp in
+  b.next_temp <- b.next_temp + 1;
+  b.temps <- name :: b.temps;
+  name
+
+(* ---------------------------------------------------------- expressions *)
+
+(* Rewrite an expression to be call-free, emitting Icall and
+   short-circuit scaffolding as needed. *)
+let rec lower_expr b (e : Ast.expr) : Ast.expr =
+  match e with
+  | Int _ | Float _ | Bool _ | Str _ | Null | Var _ -> e
+  | Index (a, i) ->
+    let a' = lower_expr b a in
+    let i' = lower_expr b i in
+    Index (a', i')
+  | Addr (name, i) -> Addr (name, lower_expr b i)
+  | Unop (op, e) -> Unop (op, lower_expr b e)
+  | Binop (And, lhs, rhs) -> lower_short_circuit b ~is_and:true lhs rhs
+  | Binop (Or, lhs, rhs) -> lower_short_circuit b ~is_and:false lhs rhs
+  | Binop (op, a, bb) ->
+    let a' = lower_expr b a in
+    let b' = lower_expr b bb in
+    Binop (op, a', b')
+  | Call (name, args) ->
+    let args' = List.map (lower_expr b) args in
+    let temp = fresh_temp b in
+    emit b (Ir.Icall { callee = name; args = args'; ret_temp = Some temp });
+    Var temp
+  | Builtin (name, args) -> Builtin (name, List.map (lower_expr b) args)
+
+and lower_short_circuit b ~is_and lhs rhs =
+  let temp = fresh_temp b in
+  let lhs' = lower_expr b lhs in
+  emit b (Ir.Iassign (Lvar temp, lhs'));
+  (* For &&: skip the right operand when temp is false.
+     For ||: skip it when temp is true. *)
+  let guard = if is_and then Ast.Var temp else Ast.Unop (Not, Var temp) in
+  let skip_slot = emit_placeholder b in
+  let rhs' = lower_expr b rhs in
+  emit b (Ir.Iassign (Lvar temp, rhs'));
+  patch b skip_slot (Ir.Icjump { cond = guard; if_false = b.count });
+  Var temp
+
+let lower_arg b = function
+  | Ast.Aexpr e -> Ast.Aexpr (lower_expr b e)
+  | Ast.Alv (Lvar name) -> Ast.Alv (Lvar name)
+  | Ast.Alv (Lindex (name, i)) -> Ast.Alv (Lindex (name, lower_expr b i))
+
+(* ----------------------------------------------------------- statements *)
+
+let rec lower_stmt b (s : Ast.stmt) =
+  (match s.label with
+  | Some label -> Hashtbl.replace b.labels label b.count
+  | None -> ());
+  match s.kind with
+  | Decl (name, _, init) -> (
+    match init with
+    | Some e ->
+      let e' = lower_expr b e in
+      emit b (Ir.Iassign (Lvar name, e'))
+    | None -> ())
+  | Assign (lv, e) ->
+    let lv' =
+      match lv with
+      | Ast.Lvar _ -> lv
+      | Ast.Lindex (name, i) -> Ast.Lindex (name, lower_expr b i)
+    in
+    let e' = lower_expr b e in
+    emit b (Ir.Iassign (lv', e'))
+  | If (cond, then_b, else_b) ->
+    let cond' = lower_expr b cond in
+    let cond_slot = emit_placeholder b in
+    List.iter (lower_stmt b) then_b;
+    if else_b = [] then
+      patch b cond_slot (Ir.Icjump { cond = cond'; if_false = b.count })
+    else begin
+      let end_slot = emit_placeholder b in
+      patch b cond_slot (Ir.Icjump { cond = cond'; if_false = b.count });
+      List.iter (lower_stmt b) else_b;
+      patch b end_slot (Ir.Ijump b.count)
+    end
+  | While (cond, body) ->
+    let loop_start = b.count in
+    let cond' = lower_expr b cond in
+    let cond_slot = emit_placeholder b in
+    List.iter (lower_stmt b) body;
+    emit b (Ir.Ijump loop_start);
+    patch b cond_slot (Ir.Icjump { cond = cond'; if_false = b.count })
+  | CallS (name, args) ->
+    let args' = List.map (lower_expr b) args in
+    emit b (Ir.Icall { callee = name; args = args'; ret_temp = None })
+  | Return e ->
+    let e' = Option.map (lower_expr b) e in
+    emit b (Ir.Ireturn e')
+  | Goto target ->
+    let slot = emit_placeholder b in
+    b.fixups <- (slot, target) :: b.fixups
+  | Print es -> emit b (Ir.Iprint (List.map (lower_expr b) es))
+  | Sleep e ->
+    let e' = lower_expr b e in
+    emit b (Ir.Isleep e')
+  | BuiltinS (name, args) ->
+    let args' = List.map (lower_arg b) args in
+    emit b (Ir.Ibuiltin (name, args'))
+  | Skip -> emit b Ir.Iskip
+
+let lower_proc (proc : Ast.proc) : Ir.proc_code =
+  let b =
+    { instrs = []; count = 0; labels = Hashtbl.create 8; fixups = [];
+      temps = []; next_temp = 0 }
+  in
+  List.iter (lower_stmt b) proc.body;
+  emit b (Ir.Ireturn None);
+  let instrs = Array.of_list (List.rev b.instrs) in
+  List.iter
+    (fun (slot, target) ->
+      match Hashtbl.find_opt b.labels target with
+      | Some pc -> instrs.(slot) <- Ir.Ijump pc
+      | None ->
+        raise
+          (Lower_error
+             (Printf.sprintf "goto %s in %s: label not found" target
+                proc.proc_name)))
+    b.fixups;
+  { Ir.pc_name = proc.proc_name;
+    pc_params = proc.params;
+    pc_ret = proc.ret;
+    pc_locals = Typecheck.locals_of_proc proc;
+    pc_temps = List.rev b.temps;
+    pc_instrs = instrs;
+    pc_labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) b.labels [] }
+
+let lower_program (program : Ast.program) =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Ast.proc) -> Hashtbl.replace table p.proc_name (lower_proc p))
+    program.procs;
+  table

@@ -1,0 +1,18 @@
+(** Lowering from the MiniProc AST to the linear {!Ir} form.
+
+    Guarantees:
+    - a source label maps to the first instruction generated for the
+      statement that carries it, so [goto] re-executes that statement in
+      full (including any extracted calls in its expressions);
+    - [&&] and [||] short-circuit;
+    - every procedure ends with an implicit [return];
+    - expressions inside emitted instructions contain no [Ast.Call]
+      nodes. *)
+
+exception Lower_error of string
+
+val lower_proc : Dr_lang.Ast.proc -> Ir.proc_code
+(** @raise Lower_error on an unresolvable [goto] (the typechecker rejects
+    these first). *)
+
+val lower_program : Dr_lang.Ast.program -> (string, Ir.proc_code) Hashtbl.t

@@ -1,0 +1,1 @@
+lib/lang/builtin_sig.ml: List Option String

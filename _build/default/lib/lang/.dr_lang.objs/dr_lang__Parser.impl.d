@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Builtin_sig Lexer List Printf Token

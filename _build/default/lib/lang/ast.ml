@@ -1,0 +1,246 @@
+(* Abstract syntax of MiniProc, the statically-scoped single-threaded
+   module language that the reconfiguration transformation rewrites.
+
+   MiniProc mirrors the C subset used in the paper: scalar types, heap
+   arrays with pointers, by-reference parameters (C's out-pointers),
+   labels and [goto] (restore blocks jump from a procedure's entry into
+   loop bodies), and the POLYLITH communication builtins. *)
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tbool
+  | Tstr
+  | Tarr of ty  (* heap-allocated array of [ty] *)
+  | Tptr of ty  (* pointer into an array of [ty] *)
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Cat  (* string concatenation *)
+
+type expr =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Null
+  | Var of string
+  | Index of expr * expr          (* a[i]; array or pointer base *)
+  | Addr of string * expr         (* &a[i], yielding a pointer *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list    (* function call in expression position *)
+  | Builtin of string * expr list (* pure builtins: mh_query, len, ... *)
+
+(* Assignment targets. [*p = e] parses as [Lindex (p, Int 0)]. *)
+type lvalue =
+  | Lvar of string
+  | Lindex of string * expr
+
+(* Builtin-statement arguments: some builtins (mh_read, mh_restore) write
+   through their arguments, which must therefore be lvalues. *)
+type arg =
+  | Aexpr of expr
+  | Alv of lvalue
+
+type stmt = { label : string option; kind : stmt_kind; line : int }
+
+and stmt_kind =
+  | Decl of string * ty * expr option
+  | Assign of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | CallS of string * expr list   (* procedure call as a statement *)
+  | Return of expr option
+  | Goto of string
+  | Print of expr list
+  | Sleep of expr
+  | BuiltinS of string * arg list (* effectful builtins: mh_read, ... *)
+  | Skip
+
+and block = stmt list
+
+type param = { pname : string; pty : ty; pref : bool }
+
+type proc = {
+  proc_name : string;
+  params : param list;
+  ret : ty option;
+  body : block;
+  proc_line : int;
+}
+
+type global = { gname : string; gty : ty; ginit : expr option; gline : int }
+
+type program = {
+  module_name : string;
+  globals : global list;
+  procs : proc list;
+}
+
+let stmt ?label ?(line = 0) kind = { label; kind; line }
+
+let find_proc program name =
+  List.find_opt (fun p -> String.equal p.proc_name name) program.procs
+
+let find_global program name =
+  List.find_opt (fun g -> String.equal g.gname name) program.globals
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality, ignoring line numbers. Used by parser/printer
+   round-trip tests and by the transform's idempotence checks.         *)
+
+let rec equal_ty a b =
+  match a, b with
+  | Tint, Tint | Tfloat, Tfloat | Tbool, Tbool | Tstr, Tstr -> true
+  | Tarr a, Tarr b | Tptr a, Tptr b -> equal_ty a b
+  | (Tint | Tfloat | Tbool | Tstr | Tarr _ | Tptr _), _ -> false
+
+let rec equal_expr a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Bool x, Bool y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Null, Null -> true
+  | Var x, Var y -> String.equal x y
+  | Index (a1, i1), Index (a2, i2) -> equal_expr a1 a2 && equal_expr i1 i2
+  | Addr (n1, i1), Addr (n2, i2) -> String.equal n1 n2 && equal_expr i1 i2
+  | Unop (o1, e1), Unop (o2, e2) -> o1 = o2 && equal_expr e1 e2
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+    o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Call (n1, es1), Call (n2, es2) | Builtin (n1, es1), Builtin (n2, es2) ->
+    String.equal n1 n2 && equal_expr_list es1 es2
+  | ( ( Int _ | Float _ | Bool _ | Str _ | Null | Var _ | Index _ | Addr _
+      | Unop _ | Binop _ | Call _ | Builtin _ ),
+      _ ) ->
+    false
+
+and equal_expr_list xs ys =
+  List.length xs = List.length ys && List.for_all2 equal_expr xs ys
+
+let equal_lvalue a b =
+  match a, b with
+  | Lvar x, Lvar y -> String.equal x y
+  | Lindex (x, i), Lindex (y, j) -> String.equal x y && equal_expr i j
+  | (Lvar _ | Lindex _), _ -> false
+
+let equal_arg a b =
+  match a, b with
+  | Aexpr x, Aexpr y -> equal_expr x y
+  | Alv x, Alv y -> equal_lvalue x y
+  | (Aexpr _ | Alv _), _ -> false
+
+let rec equal_stmt a b =
+  Option.equal String.equal a.label b.label && equal_kind a.kind b.kind
+
+and equal_kind a b =
+  match a, b with
+  | Decl (n1, t1, e1), Decl (n2, t2, e2) ->
+    String.equal n1 n2 && equal_ty t1 t2 && Option.equal equal_expr e1 e2
+  | Assign (l1, e1), Assign (l2, e2) -> equal_lvalue l1 l2 && equal_expr e1 e2
+  | If (c1, t1, f1), If (c2, t2, f2) ->
+    equal_expr c1 c2 && equal_block t1 t2 && equal_block f1 f2
+  | While (c1, b1), While (c2, b2) -> equal_expr c1 c2 && equal_block b1 b2
+  | CallS (n1, es1), CallS (n2, es2) ->
+    String.equal n1 n2 && equal_expr_list es1 es2
+  | Return e1, Return e2 -> Option.equal equal_expr e1 e2
+  | Goto l1, Goto l2 -> String.equal l1 l2
+  | Print es1, Print es2 -> equal_expr_list es1 es2
+  | Sleep e1, Sleep e2 -> equal_expr e1 e2
+  | BuiltinS (n1, a1), BuiltinS (n2, a2) ->
+    String.equal n1 n2
+    && List.length a1 = List.length a2
+    && List.for_all2 equal_arg a1 a2
+  | Skip, Skip -> true
+  | ( ( Decl _ | Assign _ | If _ | While _ | CallS _ | Return _ | Goto _
+      | Print _ | Sleep _ | BuiltinS _ | Skip ),
+      _ ) ->
+    false
+
+and equal_block a b =
+  List.length a = List.length b && List.for_all2 equal_stmt a b
+
+let equal_param a b =
+  String.equal a.pname b.pname && equal_ty a.pty b.pty && a.pref = b.pref
+
+let equal_proc a b =
+  String.equal a.proc_name b.proc_name
+  && List.length a.params = List.length b.params
+  && List.for_all2 equal_param a.params b.params
+  && Option.equal equal_ty a.ret b.ret
+  && equal_block a.body b.body
+
+let equal_global a b =
+  String.equal a.gname b.gname
+  && equal_ty a.gty b.gty
+  && Option.equal equal_expr a.ginit b.ginit
+
+let equal_program a b =
+  String.equal a.module_name b.module_name
+  && List.length a.globals = List.length b.globals
+  && List.for_all2 equal_global a.globals b.globals
+  && List.length a.procs = List.length b.procs
+  && List.for_all2 equal_proc a.procs b.procs
+
+(* ------------------------------------------------------------------ *)
+(* Traversal helpers shared by the analyses and the transform.         *)
+
+(* Iterate over every statement, recursing into [If] and [While] blocks. *)
+let rec iter_stmts f block =
+  List.iter
+    (fun s ->
+      f s;
+      match s.kind with
+      | If (_, then_b, else_b) ->
+        iter_stmts f then_b;
+        iter_stmts f else_b
+      | While (_, body) -> iter_stmts f body
+      | Decl _ | Assign _ | CallS _ | Return _ | Goto _ | Print _ | Sleep _
+      | BuiltinS _ | Skip ->
+        ())
+    block
+
+(* Every procedure name invoked from [block], in statement or expression
+   position, in source order (with duplicates). *)
+let calls_in_block block =
+  let acc = ref [] in
+  let rec expr = function
+    | Int _ | Float _ | Bool _ | Str _ | Null | Var _ -> ()
+    | Index (a, i) -> expr a; expr i
+    | Addr (_, i) -> expr i
+    | Unop (_, e) -> expr e
+    | Binop (_, a, b) -> expr a; expr b
+    | Call (name, args) ->
+      acc := name :: !acc;
+      List.iter expr args
+    | Builtin (_, args) -> List.iter expr args
+  in
+  let lvalue = function Lvar _ -> () | Lindex (_, i) -> expr i in
+  let arg = function Aexpr e -> expr e | Alv lv -> lvalue lv in
+  let stmt s =
+    match s.kind with
+    | Decl (_, _, init) -> Option.iter expr init
+    | Assign (lv, e) -> lvalue lv; expr e
+    | If (c, _, _) | While (c, _) -> expr c
+    | CallS (name, args) ->
+      acc := name :: !acc;
+      List.iter expr args
+    | Return e -> Option.iter expr e
+    | Goto _ | Skip -> ()
+    | Print es -> List.iter expr es
+    | Sleep e -> expr e
+    | BuiltinS (_, args) -> List.iter arg args
+  in
+  iter_stmts stmt block;
+  List.rev !acc
+
+(* All labels defined in a block, recursively. *)
+let labels_in_block block =
+  let acc = ref [] in
+  iter_stmts (fun s -> Option.iter (fun l -> acc := l :: !acc) s.label) block;
+  List.rev !acc

@@ -1,0 +1,58 @@
+(* Catalogue of MiniProc builtins: the POLYLITH communication primitives
+   of the paper (the mh_ family) plus a handful of language utilities.
+
+   Statement builtins may write through arguments (e.g. [mh_read] stores
+   the received message into its second argument, [mh_restore] writes all
+   of its arguments); such positions are recorded in [out_positions] so
+   the parser can turn those argument expressions into lvalues.
+
+   Variadic builtins ([mh_capture], [mh_restore]) have [variadic = true]:
+   the listed arity is a minimum. *)
+
+type stmt_sig = {
+  s_name : string;
+  min_arity : int;
+  variadic : bool;
+  out_positions : [ `None | `From of int | `All ];
+}
+
+let stmt_builtins =
+  [ { s_name = "mh_init"; min_arity = 0; variadic = false; out_positions = `None };
+    (* mh_read(interface, target): blocking receive into [target]. *)
+    { s_name = "mh_read"; min_arity = 2; variadic = false; out_positions = `From 1 };
+    (* mh_write(interface, value): asynchronous send. *)
+    { s_name = "mh_write"; min_arity = 2; variadic = false; out_positions = `None };
+    (* mh_capture(location, v1, ..., vn): append one frame record to the
+       capture buffer. *)
+    { s_name = "mh_capture"; min_arity = 1; variadic = true; out_positions = `None };
+    (* mh_restore(location, x1, ..., xn): pop the most recent record of the
+       restore buffer into the given lvalues. *)
+    { s_name = "mh_restore"; min_arity = 1; variadic = true; out_positions = `All };
+    (* mh_encode(): divulge the capture buffer as an abstract state image. *)
+    { s_name = "mh_encode"; min_arity = 0; variadic = false; out_positions = `None };
+    (* mh_decode(): block until a state image arrives; fill restore buffer. *)
+    { s_name = "mh_decode"; min_arity = 0; variadic = false; out_positions = `None };
+    (* signal(handler_proc_name): install the reconfiguration handler. *)
+    { s_name = "signal"; min_arity = 1; variadic = false; out_positions = `None } ]
+
+let expr_builtins =
+  (* name, arity *)
+  [ "mh_query", 1;      (* pending messages on an interface? *)
+    "mh_getstatus", 0;  (* "clone" when started as a restoration *)
+    "len", 1;
+    "float", 1;
+    "int", 1;
+    "str", 1;
+    "alloc_int", 1;
+    "alloc_float", 1;
+    "alloc_bool", 1;
+    "alloc_str", 1;
+    "now", 0 ]
+
+let stmt_sig name = List.find_opt (fun s -> String.equal s.s_name name) stmt_builtins
+
+let is_stmt_builtin name = Option.is_some (stmt_sig name)
+
+let is_expr_builtin name = List.mem_assoc name expr_builtins
+
+let expr_arity name = List.assoc_opt name expr_builtins

@@ -1,0 +1,8 @@
+(** Hand-written lexer for MiniProc source text. *)
+
+exception Error of string * int
+(** [Error (message, line)]. *)
+
+val tokenize : string -> (Token.t * int) list
+(** Full token stream with line numbers, ending in [Teof].
+    @raise Error on malformed input. *)

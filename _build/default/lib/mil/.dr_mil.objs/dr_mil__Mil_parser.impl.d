@@ -1,0 +1,1 @@
+lib/mil/mil_parser.ml: Dr_lang List Printf Spec String

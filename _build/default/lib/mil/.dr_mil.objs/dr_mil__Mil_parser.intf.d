@@ -1,0 +1,1 @@
+lib/mil/mil_parser.mli: Spec

@@ -1,0 +1,1 @@
+lib/mil/mil_pretty.ml: Fmt List Spec String

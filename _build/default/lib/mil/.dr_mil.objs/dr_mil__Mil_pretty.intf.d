@@ -1,0 +1,1 @@
+lib/mil/mil_pretty.mli: Format Spec

@@ -1,0 +1,1 @@
+lib/mil/spec.ml: Dr_lang List String

@@ -1,0 +1,1 @@
+lib/mil/validate.ml: Dr_lang Format Hashtbl List Printf Spec String

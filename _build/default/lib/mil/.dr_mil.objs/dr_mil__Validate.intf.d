@@ -1,0 +1,1 @@
+lib/mil/validate.mli: Dr_lang Spec

@@ -1,0 +1,61 @@
+open Spec
+
+let pp_ty_list ppf tys =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf ty -> Fmt.string ppf (msg_ty_name ty)))
+    tys
+
+let pp_iface ppf i =
+  Fmt.pf ppf "  %s interface %s" (role_name i.role) i.if_name;
+  if i.pattern <> [] then Fmt.pf ppf " pattern %a" pp_ty_list i.pattern;
+  if i.accepts <> [] then Fmt.pf ppf " accepts %a" pp_ty_list i.accepts;
+  if i.returns <> [] then Fmt.pf ppf " returns %a" pp_ty_list i.returns;
+  Fmt.pf ppf ";"
+
+let pp_point ppf p =
+  Fmt.pf ppf "  reconfiguration point %s" p.rp_label;
+  (match p.rp_state with
+  | Some vars ->
+    Fmt.pf ppf " state {%a}" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) vars
+  | None -> ());
+  Fmt.pf ppf ";"
+
+let pp_module ppf m =
+  Fmt.pf ppf "module %s {@\n" m.ms_name;
+  (match m.source with
+  | Some s -> Fmt.pf ppf "  source = \"%s\";@\n" s
+  | None -> ());
+  (match m.machine with
+  | Some s -> Fmt.pf ppf "  machine = \"%s\";@\n" s
+  | None -> ());
+  List.iter (fun (k, v) -> Fmt.pf ppf "  %s = \"%s\";@\n" k v) m.attrs;
+  List.iter (fun i -> Fmt.pf ppf "%a@\n" pp_iface i) m.ifaces;
+  List.iter (fun p -> Fmt.pf ppf "%a@\n" pp_point p) m.points;
+  Fmt.pf ppf "}"
+
+let pp_application ppf a =
+  Fmt.pf ppf "application %s {@\n" a.app_name;
+  List.iter
+    (fun inst ->
+      Fmt.pf ppf "  instance %s" inst.inst_name;
+      if not (String.equal inst.inst_name inst.inst_module) then
+        Fmt.pf ppf " = %s" inst.inst_module;
+      (match inst.inst_host with
+      | Some h -> Fmt.pf ppf " on \"%s\"" h
+      | None -> ());
+      Fmt.pf ppf ";@\n")
+    a.instances;
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "  bind \"%s %s\" \"%s %s\";@\n" (fst b.b_from) (snd b.b_from)
+        (fst b.b_to) (snd b.b_to))
+    a.binds;
+  Fmt.pf ppf "}"
+
+let pp_config ppf c =
+  Fmt.list ~sep:(Fmt.any "@\n@\n") pp_module ppf c.modules;
+  if c.modules <> [] && c.apps <> [] then Fmt.pf ppf "@\n@\n";
+  Fmt.list ~sep:(Fmt.any "@\n@\n") pp_application ppf c.apps;
+  Fmt.pf ppf "@\n"
+
+let config_to_string c = Fmt.str "%a" pp_config c

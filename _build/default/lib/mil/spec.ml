@@ -1,0 +1,92 @@
+(* Abstract syntax of the module interconnection language (MIL), the
+   configuration specification of Fig. 2: module specifications with
+   typed message interfaces and reconfiguration points, and application
+   specifications with instances and bindings. *)
+
+type msg_ty = Mint | Mfloat | Mbool | Mstr
+
+(* Interface roles, as in the paper's example:
+   - [Define]: produces messages (outgoing stream);
+   - [Use]: consumes messages (incoming stream);
+   - [Client]: sends requests, accepts replies (bidirectional);
+   - [Server]: receives requests, returns replies (bidirectional). *)
+type role = Client | Server | Use | Define
+
+type iface = {
+  if_name : string;
+  role : role;
+  pattern : msg_ty list;   (* types carried in the primary direction *)
+  accepts : msg_ty list;   (* client: reply types *)
+  returns : msg_ty list;   (* server: reply types *)
+}
+
+type point_decl = {
+  rp_label : string;
+  rp_state : string list option;  (* variables comprising the state *)
+}
+
+type module_spec = {
+  ms_name : string;
+  source : string option;
+  machine : string option;  (* preferred host *)
+  ifaces : iface list;
+  points : point_decl list;
+  attrs : (string * string) list;  (* any other key = "value" attributes *)
+}
+
+type instance_decl = {
+  inst_name : string;
+  inst_module : string;
+  inst_host : string option;
+}
+
+(* bind "display temper" "compute display" — endpoints are
+   (instance, interface) pairs. *)
+type binding_decl = {
+  b_from : string * string;
+  b_to : string * string;
+}
+
+type application = {
+  app_name : string;
+  instances : instance_decl list;
+  binds : binding_decl list;
+}
+
+type config = { modules : module_spec list; apps : application list }
+
+let msg_ty_name = function
+  | Mint -> "integer"
+  | Mfloat -> "float"
+  | Mbool -> "boolean"
+  | Mstr -> "string"
+
+let msg_ty_of_lang : Dr_lang.Ast.ty -> msg_ty option = function
+  | Tint -> Some Mint
+  | Tfloat -> Some Mfloat
+  | Tbool -> Some Mbool
+  | Tstr -> Some Mstr
+  | Tarr _ | Tptr _ -> None
+
+let role_name = function
+  | Client -> "client"
+  | Server -> "server"
+  | Use -> "use"
+  | Define -> "define"
+
+(* Can a message be sent out of / received into an interface with this
+   role? Client/server interfaces carry traffic both ways. *)
+let can_send = function Define | Client | Server -> true | Use -> false
+let can_receive = function Use | Client | Server -> true | Define -> false
+
+let find_module config name =
+  List.find_opt (fun m -> String.equal m.ms_name name) config.modules
+
+let find_app config name =
+  List.find_opt (fun a -> String.equal a.app_name name) config.apps
+
+let find_iface spec name =
+  List.find_opt (fun i -> String.equal i.if_name name) spec.ifaces
+
+let find_instance app name =
+  List.find_opt (fun i -> String.equal i.inst_name name) app.instances

@@ -1,0 +1,1 @@
+lib/opt/optimize.ml: Ast Dr_lang List Option String

@@ -1,0 +1,1 @@
+lib/opt/optimize.mli: Dr_lang

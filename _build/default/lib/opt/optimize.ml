@@ -1,0 +1,304 @@
+open Dr_lang
+
+type stats = {
+  folded : int;
+  pruned : int;
+  hoisted : int;
+  blocked_by_labels : int;
+}
+
+let zero = { folded = 0; pruned = 0; hoisted = 0; blocked_by_labels = 0 }
+
+let ( ++ ) a b =
+  { folded = a.folded + b.folded;
+    pruned = a.pruned + b.pruned;
+    hoisted = a.hoisted + b.hoisted;
+    blocked_by_labels = a.blocked_by_labels + b.blocked_by_labels }
+
+(* ------------------------------------------------------------- folding *)
+
+type counter = { mutable n_folded : int; mutable n_pruned : int }
+
+let rec fold_expr c (e : Ast.expr) : Ast.expr =
+  match e with
+  | Int _ | Float _ | Bool _ | Str _ | Null | Var _ -> e
+  | Index (a, i) -> Index (fold_expr c a, fold_expr c i)
+  | Addr (name, i) -> Addr (name, fold_expr c i)
+  | Unop (op, inner) -> (
+    let inner = fold_expr c inner in
+    match op, inner with
+    | Ast.Neg, Int i ->
+      c.n_folded <- c.n_folded + 1;
+      Int (-i)
+    | Ast.Neg, Float f ->
+      c.n_folded <- c.n_folded + 1;
+      Float (-.f)
+    | Ast.Not, Bool b ->
+      c.n_folded <- c.n_folded + 1;
+      Bool (not b)
+    | _ -> Unop (op, inner))
+  | Binop (op, a, b) -> (
+    let a = fold_expr c a and b = fold_expr c b in
+    let folded =
+      match op, a, b with
+      | Ast.Add, Int x, Int y -> Some (Ast.Int (x + y))
+      | Ast.Sub, Int x, Int y -> Some (Int (x - y))
+      | Ast.Mul, Int x, Int y -> Some (Int (x * y))
+      | Ast.Div, Int x, Int y when y <> 0 -> Some (Int (x / y))
+      | Ast.Mod, Int x, Int y when y <> 0 -> Some (Int (x mod y))
+      | Ast.Add, Float x, Float y -> Some (Float (x +. y))
+      | Ast.Sub, Float x, Float y -> Some (Float (x -. y))
+      | Ast.Mul, Float x, Float y -> Some (Float (x *. y))
+      | Ast.Eq, Int x, Int y -> Some (Bool (x = y))
+      | Ast.Ne, Int x, Int y -> Some (Bool (x <> y))
+      | Ast.Lt, Int x, Int y -> Some (Bool (x < y))
+      | Ast.Le, Int x, Int y -> Some (Bool (x <= y))
+      | Ast.Gt, Int x, Int y -> Some (Bool (x > y))
+      | Ast.Ge, Int x, Int y -> Some (Bool (x >= y))
+      | Ast.And, Bool x, Bool y -> Some (Bool (x && y))
+      | Ast.Or, Bool x, Bool y -> Some (Bool (x || y))
+      | Ast.And, Bool false, _ -> Some (Bool false)
+      | Ast.Or, Bool true, _ -> Some (Bool true)
+      | Ast.Cat, Str x, Str y -> Some (Str (x ^ y))
+      (* identities *)
+      | Ast.Add, e, Int 0 | Ast.Add, Int 0, e -> Some e
+      | Ast.Mul, e, Int 1 | Ast.Mul, Int 1, e -> Some e
+      | Ast.Sub, e, Int 0 -> Some e
+      | _ -> None
+    in
+    match folded with
+    | Some e' ->
+      c.n_folded <- c.n_folded + 1;
+      e'
+    | None -> Binop (op, a, b))
+  | Call (name, args) -> Call (name, List.map (fold_expr c) args)
+  | Builtin (name, args) -> Builtin (name, List.map (fold_expr c) args)
+
+let fold_arg c = function
+  | Ast.Aexpr e -> Ast.Aexpr (fold_expr c e)
+  | Ast.Alv (Ast.Lvar _) as a -> a
+  | Ast.Alv (Ast.Lindex (name, i)) -> Ast.Alv (Ast.Lindex (name, fold_expr c i))
+
+let rec fold_block c (block : Ast.block) : Ast.block =
+  List.concat_map (fold_stmt c) block
+
+and fold_stmt c (s : Ast.stmt) : Ast.stmt list =
+  match s.kind with
+  | Decl (name, ty, init) ->
+    [ { s with kind = Decl (name, ty, Option.map (fold_expr c) init) } ]
+  | Assign (lv, e) ->
+    let lv =
+      match lv with
+      | Ast.Lvar _ -> lv
+      | Ast.Lindex (name, i) -> Ast.Lindex (name, fold_expr c i)
+    in
+    [ { s with kind = Assign (lv, fold_expr c e) } ]
+  | If (cond, then_b, else_b) -> (
+    let cond = fold_expr c cond in
+    let then_b = fold_block c then_b and else_b = fold_block c else_b in
+    (* prune only branches free of labels (goto / restore targets) *)
+    match cond with
+    | Bool true when Ast.labels_in_block else_b = [] && s.label = None ->
+      c.n_pruned <- c.n_pruned + 1;
+      then_b
+    | Bool false when Ast.labels_in_block then_b = [] && s.label = None ->
+      c.n_pruned <- c.n_pruned + 1;
+      else_b
+    | _ -> [ { s with kind = If (cond, then_b, else_b) } ])
+  | While (cond, body) -> (
+    let cond = fold_expr c cond in
+    let body = fold_block c body in
+    match cond with
+    | Bool false when Ast.labels_in_block body = [] && s.label = None ->
+      c.n_pruned <- c.n_pruned + 1;
+      []
+    | _ -> [ { s with kind = While (cond, body) } ])
+  | CallS (name, args) ->
+    [ { s with kind = CallS (name, List.map (fold_expr c) args) } ]
+  | Return e -> [ { s with kind = Return (Option.map (fold_expr c) e) } ]
+  | Print es -> [ { s with kind = Print (List.map (fold_expr c) es) } ]
+  | Sleep e -> [ { s with kind = Sleep (fold_expr c e) } ]
+  | BuiltinS (name, args) ->
+    [ { s with kind = BuiltinS (name, List.map (fold_arg c) args) } ]
+  | Goto _ | Skip -> [ s ]
+
+let fold (program : Ast.program) =
+  let c = { n_folded = 0; n_pruned = 0 } in
+  let procs =
+    List.map
+      (fun (p : Ast.proc) -> { p with body = fold_block c p.body })
+      program.procs
+  in
+  ( { program with procs },
+    { zero with folded = c.n_folded; pruned = c.n_pruned } )
+
+(* ------------------------------------------------------------ hoisting *)
+
+(* Pure, fault-free expressions: safe to evaluate early and exactly
+   once. *)
+let rec pure_expr (e : Ast.expr) =
+  match e with
+  | Int _ | Float _ | Bool _ | Str _ | Null | Var _ -> true
+  | Index _ | Addr _ | Call _ | Builtin _ -> false
+  | Unop (_, e) -> pure_expr e
+  | Binop ((Div | Mod), _, _) -> false
+  | Binop (_, a, b) -> pure_expr a && pure_expr b
+
+let rec free_vars acc (e : Ast.expr) =
+  match e with
+  | Int _ | Float _ | Bool _ | Str _ | Null -> acc
+  | Var v -> v :: acc
+  | Index (a, i) -> free_vars (free_vars acc a) i
+  | Addr (v, i) -> free_vars (v :: acc) i
+  | Unop (_, e) -> free_vars acc e
+  | Binop (_, a, b) -> free_vars (free_vars acc a) b
+  | Call (_, args) | Builtin (_, args) -> List.fold_left free_vars acc args
+
+(* Variables assigned anywhere in a block (conservative: assignment
+   targets, decls, out-arguments of builtins, and every argument of a
+   call — ref parameters are indistinguishable without signatures). *)
+let assigned_vars (block : Ast.block) =
+  let acc = ref [] in
+  Ast.iter_stmts
+    (fun s ->
+      match s.kind with
+      | Assign (Lvar v, _) -> acc := v :: !acc
+      | Assign (Lindex (v, _), _) -> acc := v :: !acc
+      | Decl (v, _, _) -> acc := v :: !acc
+      | CallS (_, args) ->
+        List.iter
+          (fun a -> match a with Ast.Var v -> acc := v :: !acc | _ -> ())
+          args
+      | BuiltinS (_, args) ->
+        List.iter
+          (function
+            | Ast.Alv (Ast.Lvar v) -> acc := v :: !acc
+            | Ast.Alv (Ast.Lindex (v, _)) -> acc := v :: !acc
+            | Ast.Aexpr _ -> ())
+          args
+      | If _ | While _ | Return _ | Goto _ | Print _ | Sleep _ | Skip -> ())
+    block;
+  List.sort_uniq String.compare !acc
+
+(* All variables read in a statement (shallowly recursive). *)
+let reads_of_block (block : Ast.block) =
+  let acc = ref [] in
+  let expr e = acc := free_vars !acc e in
+  Ast.iter_stmts
+    (fun s ->
+      match s.kind with
+      | Decl (_, _, init) -> Option.iter expr init
+      | Assign (Lvar _, e) -> expr e
+      | Assign (Lindex (v, i), e) ->
+        acc := v :: !acc;
+        expr i;
+        expr e
+      | If (c, _, _) | While (c, _) -> expr c
+      | CallS (_, args) -> List.iter expr args
+      | Return e -> Option.iter expr e
+      | Print es -> List.iter expr es
+      | Sleep e -> expr e
+      | BuiltinS (_, args) ->
+        List.iter
+          (function
+            | Ast.Aexpr e -> expr e
+            | Ast.Alv (Ast.Lindex (v, i)) ->
+              acc := v :: !acc;
+              expr i
+            | Ast.Alv (Ast.Lvar _) -> ())
+          args
+      | Goto _ | Skip -> ())
+    block;
+  List.sort_uniq String.compare !acc
+
+let contains_goto (block : Ast.block) =
+  let found = ref false in
+  Ast.iter_stmts
+    (fun s -> match s.kind with Goto _ -> found := true | _ -> ())
+    block;
+  !found
+
+type hoist_counter = { mutable n_hoisted : int; mutable n_blocked : int }
+
+let rec hoist_block hc (block : Ast.block) : Ast.block =
+  List.concat_map (hoist_stmt hc) block
+
+and hoist_stmt hc (s : Ast.stmt) : Ast.stmt list =
+  match s.kind with
+  | If (cond, then_b, else_b) ->
+    [ { s with kind = If (cond, hoist_block hc then_b, hoist_block hc else_b) } ]
+  | While (cond, body) -> (
+    let body = hoist_block hc body in
+    let has_labels = Ast.labels_in_block body <> [] in
+    let eligible_loop =
+      pure_expr cond && (not has_labels) && not (contains_goto body)
+    in
+    if not eligible_loop then begin
+      (* a loop that would otherwise have hoistable work but is pinned by
+         a label inside it: the §4 inhibition *)
+      if has_labels then hc.n_blocked <- hc.n_blocked + 1;
+      [ { s with kind = While (cond, body) } ]
+    end
+    else begin
+      let assigned = assigned_vars body in
+      let cond_reads = List.sort_uniq String.compare (free_vars [] cond) in
+      (* scan top-level statements; a candidate's target may not be read
+         by any earlier top-level statement *)
+      let rec scan earlier kept hoisted = function
+        | [] -> (List.rev kept, List.rev hoisted)
+        | (stmt : Ast.stmt) :: rest -> (
+          match stmt.kind with
+          | Assign (Lvar x, e)
+            when stmt.label = None
+                 && pure_expr e
+                 && (not (List.mem x (free_vars [] e)))
+                 && (not (List.mem x cond_reads))
+                 && List.length
+                      (List.filter (String.equal x) (assigned_list_of body))
+                    = 1
+                 && (not
+                       (List.exists
+                          (fun v -> List.mem v assigned)
+                          (free_vars [] e)))
+                 && not (List.mem x (reads_of_block earlier)) ->
+            scan (earlier @ [ stmt ]) kept (stmt :: hoisted) rest
+          | _ -> scan (earlier @ [ stmt ]) (stmt :: kept) hoisted rest)
+      in
+      let kept, hoisted = scan [] [] [] body in
+      if hoisted = [] then [ { s with kind = While (cond, body) } ]
+      else begin
+        hc.n_hoisted <- hc.n_hoisted + List.length hoisted;
+        (* guarded prologue preserves zero-iteration semantics exactly *)
+        [ Ast.stmt (Ast.If (cond, hoisted, []));
+          { s with kind = While (cond, kept) } ]
+      end
+    end)
+  | Decl _ | Assign _ | CallS _ | Return _ | Goto _ | Print _ | Sleep _
+  | BuiltinS _ | Skip ->
+    [ s ]
+
+(* every assignment occurrence of each variable, with multiplicity *)
+and assigned_list_of (block : Ast.block) =
+  let acc = ref [] in
+  Ast.iter_stmts
+    (fun s ->
+      match s.kind with
+      | Assign (Lvar v, _) | Decl (v, _, Some _) -> acc := v :: !acc
+      | _ -> ())
+    block;
+  !acc
+
+let hoist (program : Ast.program) =
+  let hc = { n_hoisted = 0; n_blocked = 0 } in
+  let procs =
+    List.map
+      (fun (p : Ast.proc) -> { p with body = hoist_block hc p.body })
+      program.procs
+  in
+  ( { program with procs },
+    { zero with hoisted = hc.n_hoisted; blocked_by_labels = hc.n_blocked } )
+
+let optimize program =
+  let program, s1 = fold program in
+  let program, s2 = hoist program in
+  (program, s1 ++ s2)

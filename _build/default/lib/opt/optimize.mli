@@ -1,0 +1,47 @@
+(** A small optimiser for MiniProc, built to study the paper's §4
+    observation: "by virtue of where a reconfiguration point is placed,
+    it could prohibit certain compiler optimizations such as code
+    motion."
+
+    Two passes:
+
+    - {!fold}: constant folding and dead-branch pruning. Purely local;
+      never crosses labels (a branch containing a label is not pruned —
+      a [goto] or a restore block could jump into it).
+    - {!hoist}: loop-invariant code motion. An assignment [x = e] in a
+      [while] body is hoisted to a guarded prologue
+      ([if (cond) { x = e; }] before the loop) when the motion is
+      semantically exact (see conditions below). {b Any label inside the
+      loop body is a barrier}: restoration can [goto] into the body past
+      the assignment, so moving it out would change behaviour — this is
+      precisely how a reconfiguration point inhibits optimisation of the
+      loop that contains it.
+
+    Hoisting conditions (all checked conservatively): the assignment
+    targets a plain variable assigned nowhere else in the loop; its
+    right-hand side and the loop condition are pure and cannot fault
+    (no calls, division, indexing or allocation); no variable of the
+    right-hand side is assigned anywhere in the loop; the target is not
+    read in the body before the assignment nor by the loop condition;
+    and the body contains no labels and no [goto].
+
+    The optimiser preserves observable behaviour: for any program,
+    running the optimised form produces the same output (tested).
+    Instruction counts only improve, except that a hoisted loop which
+    never runs pays its one guard check. *)
+
+type stats = {
+  folded : int;   (** expressions simplified *)
+  pruned : int;   (** dead branches removed *)
+  hoisted : int;  (** assignments moved out of loops *)
+  blocked_by_labels : int;
+      (** loops whose hoisting was inhibited by a label — the §4
+          effect *)
+}
+
+val fold : Dr_lang.Ast.program -> Dr_lang.Ast.program * stats
+
+val hoist : Dr_lang.Ast.program -> Dr_lang.Ast.program * stats
+
+val optimize : Dr_lang.Ast.program -> Dr_lang.Ast.program * stats
+(** [fold] then [hoist]; stats are summed. *)

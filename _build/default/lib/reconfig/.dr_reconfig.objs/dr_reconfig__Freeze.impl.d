@@ -1,0 +1,1 @@
+lib/reconfig/freeze.ml: Bytes Dr_bus Dr_state Fun Option Printf

@@ -1,0 +1,1 @@
+lib/reconfig/freeze.mli: Dr_bus Dr_mil

@@ -1,0 +1,1 @@
+lib/reconfig/primitives.ml: Dr_bus Dr_mil Dr_state List Option Printf Result String

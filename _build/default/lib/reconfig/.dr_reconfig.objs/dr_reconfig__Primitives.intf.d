@@ -1,0 +1,1 @@
+lib/reconfig/primitives.mli: Dr_bus Dr_mil Dr_state

@@ -1,0 +1,1 @@
+lib/reconfig/script.ml: Dr_bus Dr_sim Format List Option Primitives Printf Result String

@@ -1,0 +1,1 @@
+lib/reconfig/script.mli: Dr_bus Dr_mil

@@ -1,0 +1,47 @@
+module Bus = Dr_bus.Bus
+module Codec = Dr_state.Codec
+
+let freeze bus ~instance ?(max_events = 1_000_000) () =
+  match Bus.instance_module bus ~instance with
+  | None -> Error (Printf.sprintf "no such instance %s" instance)
+  | Some _ ->
+    let result = ref None in
+    Bus.on_divulge bus ~instance (fun image -> result := Some image);
+    Bus.signal_reconfig bus ~instance;
+    Bus.run_while bus ~max_events (fun () -> Option.is_none !result);
+    (match !result with
+    | None ->
+      Error
+        (Printf.sprintf
+           "%s did not reach a reconfiguration point within the event budget"
+           instance)
+    | Some image ->
+      Bus.kill bus ~instance;
+      Ok (Codec.encode_abstract image))
+
+let thaw bus ~instance ~module_name ~host ?spec frozen =
+  match Codec.decode_abstract frozen with
+  | Error e -> Error (Printf.sprintf "frozen state is corrupt: %s" e)
+  | Ok image -> (
+    match Bus.spawn bus ~instance ~module_name ~host ?spec ~status:"clone" () with
+    | Error _ as e -> e
+    | Ok () ->
+      Bus.deposit_state bus ~instance image;
+      Ok ())
+
+let save ~path frozen =
+  try
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_bytes oc frozen);
+    Ok ()
+  with Sys_error e -> Error e
+
+let load ~path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (Bytes.of_string (really_input_string ic (in_channel_length ic))))
+  with Sys_error e -> Error e

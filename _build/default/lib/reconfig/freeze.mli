@@ -1,0 +1,36 @@
+(** Freezing a module to persistent storage and thawing it later.
+
+    The abstract state image (§1.2) is not tied to a live migration: the
+    same bytes can be written to disk, the application (or the whole
+    platform) shut down and upgraded, and the module resumed later —
+    possibly on a different machine — from exactly where it stopped.
+    This is the "software maintenance of very long-running applications"
+    motivation of the paper's introduction, taken across process
+    lifetimes. *)
+
+val freeze :
+  Dr_bus.Bus.t ->
+  instance:string ->
+  ?max_events:int ->
+  unit ->
+  (bytes, string) result
+(** Signal the instance, drive the bus until it divulges, and return the
+    abstract encoding of its state image. The instance halts (as after
+    any capture) and is removed; its routes are left in place for a
+    later {!thaw}. *)
+
+val thaw :
+  Dr_bus.Bus.t ->
+  instance:string ->
+  module_name:string ->
+  host:string ->
+  ?spec:Dr_mil.Spec.module_spec ->
+  bytes ->
+  (unit, string) result
+(** Start a clone from frozen bytes: decode the abstract image, spawn
+    the instance with status "clone" and deposit the state. The bytes
+    may come from a different platform run; routes must be established
+    by the caller (or have survived from before the freeze). *)
+
+val save : path:string -> bytes -> (unit, string) result
+val load : path:string -> (bytes, string) result

@@ -1,0 +1,191 @@
+module P = Primitives
+
+type outcome = (string, string) result
+
+let record bus fmt =
+  Format.kasprintf
+    (fun detail ->
+      Dr_sim.Trace.record (Dr_bus.Bus.trace bus) ~time:(Dr_bus.Bus.now bus)
+        ~category:"script" ~detail)
+    fmt
+
+(* The rebinding batch of Fig. 5: for every interface of the old module,
+   retarget outgoing and incoming routes to the new instance of the same
+   interface name, move pending queues across, and drop the old ones. *)
+let rebind_batch (cap : P.module_cap) ~new_instance =
+  let batch = P.bind_cap () in
+  List.iter
+    (fun ((src : Dr_bus.Bus.endpoint), dst) ->
+      P.edit_bind batch (P.Del (src, dst));
+      P.edit_bind batch (P.Add ((new_instance, snd src), dst)))
+    cap.cap_out_routes;
+  List.iter
+    (fun (src, (dst : Dr_bus.Bus.endpoint)) ->
+      P.edit_bind batch (P.Del (src, dst));
+      P.edit_bind batch (P.Add (src, (new_instance, snd dst))))
+    cap.cap_in_routes;
+  List.iter
+    (fun iface ->
+      P.edit_bind batch
+        (P.Copy_queue ((cap.cap_instance, iface), (new_instance, iface)));
+      P.edit_bind batch (P.Remove_queue (cap.cap_instance, iface)))
+    cap.cap_ifaces;
+  batch
+
+let replace bus ~instance ~new_instance ?new_module ?new_host ~on_done () =
+  match P.obj_cap bus ~instance with
+  | Error e -> on_done (Error e)
+  | Ok cap0 ->
+    let module_name = Option.value ~default:cap0.cap_module new_module in
+    let host = Option.value ~default:cap0.cap_host new_host in
+    record bus "replace %s: %s on %s -> %s: %s on %s" instance cap0.cap_module
+      cap0.cap_host new_instance module_name host;
+    P.objstate_move bus ~old_instance:instance
+      ~deliver:(fun image ->
+        (* Re-snapshot NOW: other reconfigurations may have rebound the
+           module's interfaces while it was travelling to its
+           reconfiguration point, and the batch must edit the *current*
+           configuration (the paper: obj_cap "corresponds to the current
+           configuration, which could have been changed dynamically"). *)
+        match P.obj_cap bus ~instance with
+        | Error e -> on_done (Error e)
+        | Ok cap -> (
+          match
+            P.translate_image bus ~src_host:cap.cap_host ~dst_host:host image
+          with
+          | Error e ->
+            on_done (Error (Printf.sprintf "state translation failed: %s" e))
+          | Ok image' -> (
+            let batch = rebind_batch cap ~new_instance in
+            (* The old module has complied. Start the new instance first
+               so the batch's queue-copy commands have a live
+               destination, then apply the rebinding commands all at
+               once, deposit the state, and remove the old instance. All
+               of this happens at one instant of virtual time — no
+               quantum runs in between. *)
+            match
+              P.chg_obj_add bus ~instance:new_instance ~module_name ~host
+                ?spec:cap.cap_spec ~status:"clone" ()
+            with
+            | Error e -> on_done (Error e)
+            | Ok () ->
+              P.rebind bus batch;
+              Dr_bus.Bus.deposit_state bus ~instance:new_instance image';
+              P.chg_obj_del bus ~instance;
+              record bus "replace %s -> %s complete" instance new_instance;
+              on_done (Ok new_instance))))
+      ()
+
+let migrate bus ~instance ~new_instance ~new_host ~on_done () =
+  replace bus ~instance ~new_instance ~new_host ~on_done ()
+
+let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
+  match P.obj_cap bus ~instance with
+  | Error e -> on_done (Error e)
+  | Ok cap0 ->
+    let replica_host = Option.value ~default:cap0.cap_host replica_host in
+    record bus "replicate %s -> %s on %s" instance replica_instance replica_host;
+    P.objstate_move bus ~old_instance:instance
+      ~deliver:(fun image ->
+        let ( let* ) = Result.bind in
+        (* re-snapshot: bindings may have changed while waiting *)
+        let outcome =
+          let* cap = P.obj_cap bus ~instance in
+          let restart_old () =
+          (* the original halted after divulging; restart it in place
+             under its own name with the same image, preserving any
+             messages still queued at its interfaces *)
+          let parked =
+            List.map
+              (fun iface ->
+                (iface, Dr_bus.Bus.take_queue bus (cap.cap_instance, iface)))
+              cap.cap_ifaces
+          in
+          P.chg_obj_del bus ~instance;
+          let* () =
+            P.chg_obj_add bus ~instance ~module_name:cap.cap_module
+              ~host:cap.cap_host ?spec:cap.cap_spec ~status:"clone" ()
+          in
+          Dr_bus.Bus.deposit_state bus ~instance image;
+          List.iter
+            (fun (iface, values) ->
+              List.iter
+                (fun v -> Dr_bus.Bus.inject bus ~dst:(instance, iface) v)
+                values)
+            parked;
+          Ok ()
+        in
+        let start_replica () =
+          let* image' =
+            P.translate_image bus ~src_host:cap.cap_host ~dst_host:replica_host
+              image
+          in
+          let* () =
+            P.chg_obj_add bus ~instance:replica_instance
+              ~module_name:cap.cap_module ~host:replica_host ?spec:cap.cap_spec
+              ~status:"clone" ()
+          in
+          Dr_bus.Bus.deposit_state bus ~instance:replica_instance image';
+          (* duplicate the original's bindings for the replica *)
+          List.iter
+            (fun ((src : Dr_bus.Bus.endpoint), dst) ->
+              Dr_bus.Bus.add_route bus ~src:(replica_instance, snd src) ~dst)
+            cap.cap_out_routes;
+          List.iter
+            (fun (src, (dst : Dr_bus.Bus.endpoint)) ->
+              Dr_bus.Bus.add_route bus ~src ~dst:(replica_instance, snd dst))
+            cap.cap_in_routes;
+          Ok ()
+        in
+          let* () = restart_old () in
+          start_replica ()
+        in
+        match outcome with
+        | Error e -> on_done (Error e)
+        | Ok () ->
+          record bus "replicate %s -> %s complete" instance replica_instance;
+          on_done (Ok replica_instance))
+      ()
+
+let replace_stateless bus ~instance ~new_instance ?new_module ?new_host () =
+  match P.obj_cap bus ~instance with
+  | Error e -> Error e
+  | Ok cap -> (
+    let module_name = Option.value ~default:cap.cap_module new_module in
+    let host = Option.value ~default:cap.cap_host new_host in
+    record bus "replace-stateless %s -> %s: %s on %s" instance new_instance
+      module_name host;
+    let batch = rebind_batch cap ~new_instance in
+    match
+      P.chg_obj_add bus ~instance:new_instance ~module_name ~host
+        ?spec:cap.cap_spec ~status:"normal" ()
+    with
+    | Error e -> Error e
+    | Ok () ->
+      P.rebind bus batch;
+      P.chg_obj_del bus ~instance;
+      record bus "replace-stateless %s -> %s complete" instance new_instance;
+      Ok new_instance)
+
+let add_module bus ~instance ~module_name ~host ?spec ~binds () =
+  match Dr_bus.Bus.spawn bus ~instance ~module_name ~host ?spec () with
+  | Error _ as e -> e
+  | Ok () ->
+    List.iter (fun (src, dst) -> Dr_bus.Bus.add_route bus ~src ~dst) binds;
+    Ok ()
+
+let remove_module bus ~instance =
+  List.iter
+    (fun ((src : Dr_bus.Bus.endpoint), (dst : Dr_bus.Bus.endpoint)) ->
+      if String.equal (fst src) instance || String.equal (fst dst) instance then
+        Dr_bus.Bus.del_route bus ~src ~dst)
+    (Dr_bus.Bus.all_routes bus);
+  Dr_bus.Bus.kill bus ~instance
+
+let run_sync bus ?(max_events = 1_000_000) script =
+  let result = ref None in
+  script ~on_done:(fun r -> result := Some r);
+  Dr_bus.Bus.run_while bus ~max_events (fun () -> Option.is_none !result);
+  match !result with
+  | Some r -> r
+  | None -> Error "reconfiguration script did not complete"

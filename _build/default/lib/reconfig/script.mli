@@ -1,0 +1,93 @@
+(** Reconfiguration scripts (Fig. 5): procedural descriptions of the
+    events occurring during a reconfiguration, built from the
+    {!Primitives}.
+
+    Scripts are asynchronous: they install callbacks and return; the
+    reconfiguration completes in virtual time once the target module
+    reaches a reconfiguration point and divulges its state. Use
+    {!run_sync} to drive the bus until a script finishes.
+
+    The [replace] script is the paper's parameterised replacement: it
+    also performs {b migration} (same module, different host — the
+    Monitor example) and {b software update} (different module
+    implementation, same interfaces). *)
+
+type outcome = (string, string) result
+(** [Ok new_instance] or an error message. *)
+
+val replace :
+  Dr_bus.Bus.t ->
+  instance:string ->
+  new_instance:string ->
+  ?new_module:string ->
+  ?new_host:string ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  unit
+(** Fig. 5: capture the old module's current specification and bindings,
+    prepare the rebinding batch (delete old routes, add routes to the
+    new instance, move pending queues), signal the old module, and once
+    it divulges: translate the image for the destination architecture,
+    apply the rebinding atomically, start the new instance as a clone,
+    deposit the state, and remove the old instance. *)
+
+val migrate :
+  Dr_bus.Bus.t ->
+  instance:string ->
+  new_instance:string ->
+  new_host:string ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  unit
+(** Move a module to another machine ([replace] with a new host). *)
+
+val replicate :
+  Dr_bus.Bus.t ->
+  instance:string ->
+  replica_instance:string ->
+  ?replica_host:string ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  unit
+(** Capture the module's state once and restore it {e twice}: a clone
+    replaces the original (which halted after divulging) under its own
+    name and bindings, and a second clone starts under
+    [replica_instance] with duplicated bindings, so sources fan out to
+    both copies. *)
+
+val replace_stateless :
+  Dr_bus.Bus.t ->
+  instance:string ->
+  new_instance:string ->
+  ?new_module:string ->
+  ?new_host:string ->
+  unit ->
+  (string, string) result
+(** Replacement {e without} module participation, in the style of
+    SURGEON [5]: no signal, no state capture — the old instance is
+    killed, a fresh one starts with status "normal", routes are
+    retargeted and pending queues move. Completes immediately (no
+    waiting for a reconfiguration point) but the process state is lost;
+    only suitable for modules whose state is externally reconstructible
+    (the limitation module participation removes). *)
+
+val add_module :
+  Dr_bus.Bus.t ->
+  instance:string ->
+  module_name:string ->
+  host:string ->
+  ?spec:Dr_mil.Spec.module_spec ->
+  binds:(Dr_bus.Bus.endpoint * Dr_bus.Bus.endpoint) list ->
+  unit ->
+  (unit, string) result
+
+val remove_module : Dr_bus.Bus.t -> instance:string -> unit
+(** Delete every route touching the instance, then the instance. *)
+
+val run_sync :
+  Dr_bus.Bus.t ->
+  ?max_events:int ->
+  (on_done:(outcome -> unit) -> unit) ->
+  outcome
+(** Launch a script and run the bus until it completes (or the event
+    budget is exhausted). *)

@@ -1,0 +1,1 @@
+lib/report/timeline.ml: Buffer Bytes Dr_bus Dr_interp Dr_sim Float Fmt List Printf String

@@ -1,0 +1,89 @@
+module Bus = Dr_bus.Bus
+module Trace = Dr_sim.Trace
+
+let default_events = [ "script"; "signal"; "state"; "lifecycle"; "crash" ]
+
+(* Marker characters drawn on an instance's bar:
+   S — reconfiguration signal delivered
+   D — state divulged
+   R — state deposited (restoration)
+   X — crash *)
+let marker_of_entry (e : Trace.entry) instance =
+  let starts prefix =
+    let d = e.detail in
+    String.length d >= String.length prefix
+    && String.equal (String.sub d 0 (String.length prefix)) prefix
+  in
+  (* instance names can be prefixes of each other (compute, compute'):
+     where the name ends the detail, require exact equality *)
+  match e.category with
+  | "signal" when String.equal e.detail ("reconfiguration signal -> " ^ instance)
+    ->
+    Some 'S'
+  | "state" when starts (instance ^ " divulged") -> Some 'D'
+  | "state" when String.equal e.detail ("state image deposited into " ^ instance)
+    ->
+    Some 'R'
+  | "crash" when starts (instance ^ " crashed") -> Some 'X'
+  | _ -> None
+
+let render ?(width = 60) ?(events = default_events) bus =
+  let buf = Buffer.create 1024 in
+  let roster = Bus.roster bus in
+  let t_end = Float.max (Bus.now bus) 1e-9 in
+  let column time =
+    let c = int_of_float (time /. t_end *. float_of_int (width - 1)) in
+    max 0 (min (width - 1) c)
+  in
+  let name_width =
+    List.fold_left
+      (fun acc (r : Bus.roster_entry) ->
+        max acc (String.length r.r_instance))
+      8 roster
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s t=0%s t=%.1f\n" name_width ""
+       (String.make (max 0 (width - 8)) ' ')
+       t_end);
+  let entries = Trace.entries (Bus.trace bus) in
+  List.iter
+    (fun (r : Bus.roster_entry) ->
+      let bar = Bytes.make width ' ' in
+      let start_col = column r.r_started in
+      let end_col =
+        match r.r_ended with Some t -> column t | None -> width - 1
+      in
+      for i = start_col to end_col do
+        Bytes.set bar i '='
+      done;
+      Bytes.set bar start_col '[';
+      (match r.r_ended with Some _ -> Bytes.set bar end_col ']' | None -> ());
+      List.iter
+        (fun (e : Trace.entry) ->
+          match marker_of_entry e r.r_instance with
+          | Some marker -> Bytes.set bar (column e.time) marker
+          | None -> ())
+        entries;
+      let state =
+        match r.r_status with
+        | None -> "removed"
+        | Some status -> Fmt.str "%a" Dr_interp.Machine.pp_status status
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %s  %s on %s (%s)\n" name_width r.r_instance
+           (Bytes.to_string bar) r.r_module r.r_host state))
+    roster;
+  Buffer.add_string buf
+    "\n  [ start   ] end   S signal   D divulge   R restore   X crash\n";
+  let logged =
+    List.filter (fun (e : Trace.entry) -> List.mem e.category events) entries
+  in
+  if logged <> [] then begin
+    Buffer.add_string buf "\nevents:\n";
+    List.iter
+      (fun (e : Trace.entry) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  [%8.2f] %-10s %s\n" e.time e.category e.detail))
+      logged
+  end;
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** ASCII timeline of an application run: one lane per instance showing
+    its lifespan, with reconfiguration events marked, followed by a
+    chronological event log. Used by [drc run --timeline] and the
+    examples to visualise reconfigurations. *)
+
+val render : ?width:int -> ?events:string list -> Dr_bus.Bus.t -> string
+(** [render bus] draws every instance the bus has ever hosted.
+    [width] is the number of columns for the bar area (default 60).
+    [events] selects which trace categories appear in the log below the
+    bars (default: script, signal, state, lifecycle, crash). *)

@@ -1,0 +1,41 @@
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable fired : int;
+}
+
+let create () = { queue = Pqueue.create (); clock = 0.0; next_seq = 0; fired = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  Pqueue.push t.queue ~time ~seq:t.next_seq f;
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~time:(t.clock +. delay) f
+
+let pending t = Pqueue.length t.queue
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, _seq, f) ->
+    t.clock <- time;
+    t.fired <- t.fired + 1;
+    f ();
+    true
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let rec loop remaining =
+    if remaining > 0 then
+      match Pqueue.peek_time t.queue with
+      | Some time when time <= until -> if step t then loop (remaining - 1)
+      | Some _ | None -> ()
+  in
+  loop max_events
+
+let events_fired t = t.fired

@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and a queue of timestamped events, each a
+    thunk run when the clock reaches its time. Everything is deterministic:
+    same schedule calls, same execution order. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at time [now t +. delay]. Negative delays
+    are clamped to zero. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant. Times in the past are clamped to [now]. *)
+
+val pending : t -> int
+(** Number of events not yet fired. *)
+
+val step : t -> bool
+(** Fire the single earliest event. Returns [false] when the queue is
+    empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Fire events in order until the queue empties, the clock would pass
+    [until], or [max_events] events have fired. *)
+
+val events_fired : t -> int
+(** Total number of events executed so far. *)

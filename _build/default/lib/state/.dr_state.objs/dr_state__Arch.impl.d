@@ -1,0 +1,1 @@
+lib/state/arch.ml: Fmt Int32 List String

@@ -1,0 +1,1 @@
+lib/state/arch.mli: Format

@@ -1,0 +1,1 @@
+lib/state/bin_util.ml: Buffer Bytes Char Int32 Int64

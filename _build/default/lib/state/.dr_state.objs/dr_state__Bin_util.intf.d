@@ -1,0 +1,1 @@
+lib/state/bin_util.mli: Buffer

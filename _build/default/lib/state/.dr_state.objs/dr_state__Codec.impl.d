@@ -1,0 +1,1 @@
+lib/state/codec.ml: Arch Array Bin_util Buffer Dr_lang Format Image Int32 Int64 List String Value

@@ -1,0 +1,1 @@
+lib/state/codec.mli: Arch Image

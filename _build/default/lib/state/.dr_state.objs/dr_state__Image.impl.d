@@ -1,0 +1,1 @@
+lib/state/image.ml: Array Dr_lang Fmt Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/state/image.mli: Dr_lang Format Value

@@ -1,0 +1,1 @@
+lib/state/value.ml: Dr_lang Float Fmt String

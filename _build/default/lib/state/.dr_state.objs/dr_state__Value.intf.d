@@ -1,0 +1,1 @@
+lib/state/value.mli: Dr_lang Format

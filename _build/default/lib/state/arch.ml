@@ -1,0 +1,24 @@
+type endian = Big | Little
+
+type t = { arch_name : string; endian : endian; word_bits : int }
+
+let x86_64 = { arch_name = "x86_64"; endian = Little; word_bits = 64 }
+let sparc32 = { arch_name = "sparc32"; endian = Big; word_bits = 32 }
+let arm32 = { arch_name = "arm32"; endian = Little; word_bits = 32 }
+let m68k = { arch_name = "m68k"; endian = Big; word_bits = 64 }
+
+let all = [ x86_64; sparc32; arm32; m68k ]
+
+let by_name name = List.find_opt (fun a -> String.equal a.arch_name name) all
+
+let equal a b = String.equal a.arch_name b.arch_name
+
+let pp ppf a =
+  Fmt.pf ppf "%s (%s-endian, %d-bit)" a.arch_name
+    (match a.endian with Big -> "big" | Little -> "little")
+    a.word_bits
+
+let int_fits a v =
+  match a.word_bits with
+  | 32 -> v >= Int32.to_int Int32.min_int && v <= Int32.to_int Int32.max_int
+  | _ -> true

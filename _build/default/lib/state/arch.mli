@@ -1,0 +1,35 @@
+(** Simulated machine architectures.
+
+    Each simulated host has an architecture that fixes the native wire
+    format of a divulged state image: byte order and integer word width.
+    Migrating a module between hosts of different architectures must pass
+    through the abstract format, exactly as in §1.2 of the paper. *)
+
+type endian = Big | Little
+
+type t = { arch_name : string; endian : endian; word_bits : int }
+
+val x86_64 : t
+(** little-endian, 64-bit words. *)
+
+val sparc32 : t
+(** big-endian, 32-bit words. *)
+
+val arm32 : t
+(** little-endian, 32-bit words. *)
+
+val m68k : t
+(** big-endian, 64-bit words (a fictional wide big-endian machine, useful
+    for exercising the endianness axis without the width axis). *)
+
+val all : t list
+
+val by_name : string -> t option
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val int_fits : t -> int -> bool
+(** Can this integer be represented in the architecture's word? Migrating
+    a value that does not fit is a heterogeneity error. *)

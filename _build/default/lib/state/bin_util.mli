@@ -1,0 +1,22 @@
+(** Endian-aware binary readers/writers used by the state codecs. *)
+
+exception Truncated
+(** Raised by readers when the input ends prematurely. *)
+
+type reader
+
+val reader : bytes -> reader
+
+val remaining : reader -> int
+
+val read_u8 : reader -> int
+val read_i32 : reader -> big:bool -> int
+val read_i64 : reader -> big:bool -> int64
+val read_f64 : reader -> big:bool -> float
+val read_bytes : reader -> int -> string
+
+val write_u8 : Buffer.t -> int -> unit
+val write_i32 : Buffer.t -> big:bool -> int -> unit
+val write_i64 : Buffer.t -> big:bool -> int64 -> unit
+val write_f64 : Buffer.t -> big:bool -> float -> unit
+val write_bytes : Buffer.t -> string -> unit

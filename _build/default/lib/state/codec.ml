@@ -1,0 +1,183 @@
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+(* Value tags shared by abstract and native layouts. *)
+let tag_int = 0
+let tag_float = 1
+let tag_bool = 2
+let tag_str = 3
+let tag_arr = 4
+let tag_ptr = 5
+let tag_null = 6
+
+(* Type tags for heap block element types. *)
+let rec write_ty buf (ty : Dr_lang.Ast.ty) =
+  match ty with
+  | Tint -> Bin_util.write_u8 buf 0
+  | Tfloat -> Bin_util.write_u8 buf 1
+  | Tbool -> Bin_util.write_u8 buf 2
+  | Tstr -> Bin_util.write_u8 buf 3
+  | Tarr t ->
+    Bin_util.write_u8 buf 4;
+    write_ty buf t
+  | Tptr t ->
+    Bin_util.write_u8 buf 5;
+    write_ty buf t
+
+let rec read_ty r : Dr_lang.Ast.ty =
+  match Bin_util.read_u8 r with
+  | 0 -> Tint
+  | 1 -> Tfloat
+  | 2 -> Tbool
+  | 3 -> Tstr
+  | 4 -> Tarr (read_ty r)
+  | 5 -> Tptr (read_ty r)
+  | tag -> malformed "unknown type tag %d" tag
+
+(* A "layout" fixes byte order and integer width; the abstract format is
+   the big-endian 64-bit instance. Native formats use the architecture's
+   parameters. *)
+type layout = { big : bool; word_bits : int }
+
+let abstract_layout = { big = true; word_bits = 64 }
+
+let layout_of_arch (a : Arch.t) =
+  { big = (a.endian = Arch.Big); word_bits = a.word_bits }
+
+let write_int layout buf v =
+  if layout.word_bits = 32 then begin
+    if not (v >= Int32.to_int Int32.min_int && v <= Int32.to_int Int32.max_int)
+    then malformed "integer %d does not fit a 32-bit word" v;
+    Bin_util.write_i32 buf ~big:layout.big v
+  end
+  else Bin_util.write_i64 buf ~big:layout.big (Int64.of_int v)
+
+let read_int layout r =
+  if layout.word_bits = 32 then Bin_util.read_i32 r ~big:layout.big
+  else Int64.to_int (Bin_util.read_i64 r ~big:layout.big)
+
+let write_string layout buf s =
+  write_int layout buf (String.length s);
+  Bin_util.write_bytes buf s
+
+let read_string layout r =
+  let n = read_int layout r in
+  if n < 0 || n > Bin_util.remaining r then malformed "bad string length %d" n;
+  Bin_util.read_bytes r n
+
+let write_value layout buf (v : Value.t) =
+  match v with
+  | Vint i ->
+    Bin_util.write_u8 buf tag_int;
+    write_int layout buf i
+  | Vfloat f ->
+    Bin_util.write_u8 buf tag_float;
+    Bin_util.write_f64 buf ~big:layout.big f
+  | Vbool b ->
+    Bin_util.write_u8 buf tag_bool;
+    Bin_util.write_u8 buf (if b then 1 else 0)
+  | Vstr s ->
+    Bin_util.write_u8 buf tag_str;
+    write_string layout buf s
+  | Varr block ->
+    Bin_util.write_u8 buf tag_arr;
+    write_int layout buf block
+  | Vptr (block, off) ->
+    Bin_util.write_u8 buf tag_ptr;
+    write_int layout buf block;
+    write_int layout buf off
+  | Vnull -> Bin_util.write_u8 buf tag_null
+
+let read_value layout r : Value.t =
+  let tag = Bin_util.read_u8 r in
+  if tag = tag_int then Vint (read_int layout r)
+  else if tag = tag_float then Vfloat (Bin_util.read_f64 r ~big:layout.big)
+  else if tag = tag_bool then Vbool (Bin_util.read_u8 r <> 0)
+  else if tag = tag_str then Vstr (read_string layout r)
+  else if tag = tag_arr then Varr (read_int layout r)
+  else if tag = tag_ptr then begin
+    let block = read_int layout r in
+    let off = read_int layout r in
+    Vptr (block, off)
+  end
+  else if tag = tag_null then Vnull
+  else malformed "unknown value tag %d" tag
+
+let magic = "DRIMG1"
+
+let encode_with layout (image : Image.t) =
+  let buf = Buffer.create 256 in
+  Bin_util.write_bytes buf magic;
+  write_string layout buf image.source_module;
+  write_int layout buf (List.length image.records);
+  List.iter
+    (fun (r : Image.record) ->
+      write_int layout buf r.location;
+      write_int layout buf (List.length r.values);
+      List.iter (write_value layout buf) r.values)
+    image.records;
+  write_int layout buf (List.length image.heap);
+  List.iter
+    (fun (id, (block : Image.heap_block)) ->
+      write_int layout buf id;
+      write_ty buf block.elem_ty;
+      write_int layout buf (Array.length block.cells);
+      Array.iter (write_value layout buf) block.cells)
+    image.heap;
+  Buffer.to_bytes buf
+
+let decode_with layout data : Image.t =
+  let r = Bin_util.reader data in
+  let seen_magic = Bin_util.read_bytes r (String.length magic) in
+  if not (String.equal seen_magic magic) then malformed "bad magic %S" seen_magic;
+  let source_module = read_string layout r in
+  let n_records = read_int layout r in
+  if n_records < 0 || n_records > 1_000_000 then
+    malformed "bad record count %d" n_records;
+  let records =
+    List.init n_records (fun _ ->
+        let location = read_int layout r in
+        let n_values = read_int layout r in
+        if n_values < 0 || n_values > 1_000_000 then
+          malformed "bad value count %d" n_values;
+        let values = List.init n_values (fun _ -> read_value layout r) in
+        { Image.location; values })
+  in
+  let n_blocks = read_int layout r in
+  if n_blocks < 0 || n_blocks > 1_000_000 then
+    malformed "bad heap block count %d" n_blocks;
+  let heap =
+    List.init n_blocks (fun _ ->
+        let id = read_int layout r in
+        let elem_ty = read_ty r in
+        let n = read_int layout r in
+        if n < 0 || n > 10_000_000 then malformed "bad block length %d" n;
+        let cells = Array.init n (fun _ -> read_value layout r) in
+        (id, { Image.elem_ty; cells }))
+  in
+  if Bin_util.remaining r <> 0 then
+    malformed "%d trailing bytes" (Bin_util.remaining r);
+  { Image.source_module; records; heap }
+
+let guarded f =
+  try Ok (f ()) with
+  | Malformed message -> Error message
+  | Bin_util.Truncated -> Error "truncated image"
+
+let encode_abstract image = encode_with abstract_layout image
+
+let decode_abstract data = guarded (fun () -> decode_with abstract_layout data)
+
+module Native = struct
+  let encode arch image =
+    guarded (fun () -> encode_with (layout_of_arch arch) image)
+
+  let decode arch data =
+    guarded (fun () -> decode_with (layout_of_arch arch) data)
+
+  let translate ~src ~dst data =
+    match decode src data with
+    | Error _ as e -> e
+    | Ok image -> encode dst image
+end

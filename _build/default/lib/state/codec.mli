@@ -1,0 +1,29 @@
+(** Serialisation of state images.
+
+    Two layers, mirroring the paper's §1.2:
+
+    - the {b abstract} format is canonical and machine-independent
+      (big-endian, 64-bit, tagged);
+    - a {b native} format per {!Arch.t} is what a module "really" divulges
+      on its host: byte order and word width follow the architecture.
+
+    A migration from host A to host B translates
+    native(A) → abstract → native(B); {!Native.translate} performs the
+    round trip and reports heterogeneity errors (e.g. an integer that does
+    not fit the destination word). *)
+
+exception Malformed of string
+
+val encode_abstract : Image.t -> bytes
+
+val decode_abstract : bytes -> (Image.t, string) result
+
+module Native : sig
+  val encode : Arch.t -> Image.t -> (bytes, string) result
+  (** Fails when a captured integer exceeds the architecture word. *)
+
+  val decode : Arch.t -> bytes -> (Image.t, string) result
+
+  val translate : src:Arch.t -> dst:Arch.t -> bytes -> (bytes, string) result
+  (** native(src) bytes → native(dst) bytes, through the abstract image. *)
+end

@@ -1,0 +1,95 @@
+type heap_block = { elem_ty : Dr_lang.Ast.ty; cells : Value.t array }
+
+type record = { location : int; values : Value.t list }
+
+type t = {
+  source_module : string;
+  records : record list;
+  heap : (int * heap_block) list;
+}
+
+let empty ~source_module = { source_module; records = []; heap = [] }
+
+let push_record t record = { t with records = t.records @ [ record ] }
+
+let pop_record t =
+  match List.rev t.records with
+  | [] -> None
+  | last :: rev_rest -> Some (last, { t with records = List.rev rev_rest })
+
+let depth t = List.length t.records
+
+let equal_block a b =
+  Dr_lang.Ast.equal_ty a.elem_ty b.elem_ty
+  && Array.length a.cells = Array.length b.cells
+  && Array.for_all2 Value.equal a.cells b.cells
+
+let equal_record a b =
+  a.location = b.location
+  && List.length a.values = List.length b.values
+  && List.for_all2 Value.equal a.values b.values
+
+let equal a b =
+  String.equal a.source_module b.source_module
+  && List.length a.records = List.length b.records
+  && List.for_all2 equal_record a.records b.records
+  && List.length a.heap = List.length b.heap
+  && List.for_all2
+       (fun (i, ba) (j, bb) -> i = j && equal_block ba bb)
+       a.heap b.heap
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>image of %s (%d records, %d heap blocks)" t.source_module
+    (List.length t.records) (List.length t.heap);
+  List.iteri
+    (fun i r ->
+      Fmt.pf ppf "@,  record %d: location=%d [%a]" i r.location
+        (Fmt.list ~sep:(Fmt.any ", ") Value.pp)
+        r.values)
+    t.records;
+  List.iter
+    (fun (id, block) ->
+      Fmt.pf ppf "@,  block #%d: %s[%d]" id
+        (Dr_lang.Pretty.ty_to_string block.elem_ty)
+        (Array.length block.cells))
+    t.heap;
+  Fmt.pf ppf "@]"
+
+let value_size = function
+  | Value.Vint _ | Value.Vfloat _ | Value.Vbool _ -> 8
+  | Value.Vstr s -> 8 + String.length s
+  | Value.Varr _ -> 8
+  | Value.Vptr _ -> 16
+  | Value.Vnull -> 8
+
+let byte_size t =
+  let record_size r =
+    8 + List.fold_left (fun acc v -> acc + value_size v) 0 r.values
+  in
+  let block_size (_, b) =
+    16 + Array.fold_left (fun acc v -> acc + value_size v) 0 b.cells
+  in
+  List.fold_left (fun acc r -> acc + record_size r) 0 t.records
+  + List.fold_left (fun acc b -> acc + block_size b) 0 t.heap
+
+let gather_blocks ~lookup roots =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit_value v =
+    match v with
+    | Value.Varr block | Value.Vptr (block, _) -> visit_block block
+    | Value.Vint _ | Value.Vfloat _ | Value.Vbool _ | Value.Vstr _ | Value.Vnull
+      ->
+      ()
+  and visit_block id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      match lookup id with
+      | None -> ()
+      | Some block ->
+        acc := (id, block) :: !acc;
+        Array.iter visit_value block.cells
+    end
+  in
+  List.iter visit_value roots;
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc

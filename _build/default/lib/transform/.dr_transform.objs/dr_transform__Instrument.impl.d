@@ -1,0 +1,1 @@
+lib/transform/instrument.ml: Ast Dr_analysis Dr_lang Fmt List Option Printf Result String Typecheck

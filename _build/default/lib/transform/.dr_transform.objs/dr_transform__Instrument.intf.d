@@ -1,0 +1,1 @@
+lib/transform/instrument.mli: Dr_analysis Dr_lang

@@ -1,0 +1,1 @@
+lib/workloads/farm.ml: Dr_bus Dr_state Dynrecon List Printf Scanf

@@ -1,0 +1,1 @@
+lib/workloads/farm.mli: Dr_bus Dynrecon

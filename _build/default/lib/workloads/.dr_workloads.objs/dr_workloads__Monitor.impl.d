@@ -1,0 +1,1 @@
+lib/workloads/monitor.ml: Dr_bus Dr_state Dynrecon Float Printf Scanf

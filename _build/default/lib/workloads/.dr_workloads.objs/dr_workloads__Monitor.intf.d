@@ -1,0 +1,1 @@
+lib/workloads/monitor.mli: Dr_bus Dr_transform Dynrecon

@@ -1,0 +1,1 @@
+lib/workloads/pipeline.ml: Dr_bus Dr_state Dynrecon List Printf Scanf

@@ -1,0 +1,1 @@
+lib/workloads/pipeline.mli: Dr_bus Dynrecon

@@ -1,0 +1,1 @@
+lib/workloads/ring.ml: Dr_bus Dr_interp Dr_state Dynrecon List

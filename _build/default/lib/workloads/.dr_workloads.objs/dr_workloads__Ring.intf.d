@@ -1,0 +1,1 @@
+lib/workloads/ring.mli: Dr_bus Dynrecon

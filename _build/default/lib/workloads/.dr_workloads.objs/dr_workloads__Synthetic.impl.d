@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Dr_lang Dr_transform Printf

@@ -1,0 +1,119 @@
+let capacity = 64
+
+let mil =
+  {|
+module store {
+  source = "./store.exe";
+  use interface set pattern {integer};
+  server interface get pattern {integer} returns {integer};
+  reconfiguration point R;
+}
+
+module client {
+  source = "./client.exe";
+  define interface set pattern {integer};
+  client interface get pattern {integer} accepts {integer};
+}
+
+application kv {
+  instance store on "hostA";
+  instance client on "hostB";
+  bind "client set" "store set";
+  bind "client get" "store get";
+}
+|}
+
+(* The table is a heap array reached from a global; a second global
+   pointer into the same block exercises aliasing across capture. *)
+let store_source =
+  Printf.sprintf
+    {|
+module store;
+
+var table: int[];
+var cursor: int*;
+var ready: bool = false;
+
+proc apply_set(cmd: int) {
+  table[cmd / 1000] = cmd %% 1000;
+  cursor = &table[cmd / 1000];
+}
+
+proc main() {
+  var cmd: int;
+  var k: int;
+  mh_init();
+  if (!ready) {
+    table = alloc_int(%d);
+    cursor = &table[0];
+    ready = true;
+  }
+  while (true) {
+    while (mh_query("set")) {
+      mh_read("set", cmd);
+      apply_set(cmd);
+    }
+    while (mh_query("get")) {
+      R: mh_read("get", k);
+      mh_write("get", table[k]);
+    }
+    sleep(1);
+  }
+}
+|}
+    capacity
+
+(* Keys cycle below the store's capacity; the value stored under key k
+   is always k*7, so every reply is checkable: v = k*7. *)
+let client_source =
+  {|
+module client;
+
+proc main() {
+  var i: int;
+  var k: int;
+  var v: int;
+  mh_init();
+  i = 1;
+  while (true) {
+    k = i % 60;
+    mh_write("set", k * 1000 + k * 7);
+    if (i % 3 == 0) {
+      mh_write("get", k);
+      mh_read("get", v);
+      print("got ", k, " -> ", v);
+    }
+    i = i + 1;
+    sleep(3);
+  }
+}
+|}
+
+let sources = [ ("store", store_source); ("client", client_source) ]
+
+let hosts =
+  [ { Dr_bus.Bus.host_name = "hostA"; arch = Dr_state.Arch.x86_64 };
+    { Dr_bus.Bus.host_name = "hostB"; arch = Dr_state.Arch.arm32 };
+    { Dr_bus.Bus.host_name = "hostC"; arch = Dr_state.Arch.sparc32 } ]
+
+let load () =
+  match Dynrecon.System.load ~mil ~sources () with
+  | Ok system -> system
+  | Error e -> failwith ("kvstore: load failed: " ^ e)
+
+let start ?params system =
+  match
+    Dynrecon.System.start system ~app:"kv" ~hosts ?params ~default_host:"hostA"
+      ()
+  with
+  | Ok bus -> bus
+  | Error e -> failwith ("kvstore: start failed: " ^ e)
+
+let encode_set ~key ~value = (key * 1000) + value
+
+let client_got bus =
+  List.filter_map
+    (fun line ->
+      try Scanf.sscanf line "got %d -> %d" (fun k v -> Some (k, v))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+    (Dr_bus.Bus.outputs bus ~instance:"client")

@@ -1,0 +1,20 @@
+(** A key-value store whose state lives in the heap: a client streams
+    [set] commands and issues [get] requests; the store keeps values in
+    a heap-allocated array reached through a global. Migrating the store
+    exercises heap-block capture and symbolic-pointer translation —
+    values written before a migration must be readable after it. *)
+
+val mil : string
+val sources : (string * string) list
+val hosts : Dr_bus.Bus.host list
+
+val capacity : int
+
+val load : unit -> Dynrecon.System.t
+val start : ?params:Dr_bus.Bus.params -> Dynrecon.System.t -> Dr_bus.Bus.t
+
+val encode_set : key:int -> value:int -> int
+(** Commands travel as a single integer [key * 1000 + value]. *)
+
+val client_got : Dr_bus.Bus.t -> (int * int) list
+(** (key, value) pairs the client printed from [get] replies. *)

@@ -1,0 +1,139 @@
+module Bus = Dr_bus.Bus
+
+let mil =
+  {|
+module member {
+  source = "./member.exe";
+  use interface in pattern {integer};
+  define interface out pattern {integer};
+  reconfiguration point R;
+}
+
+module tap {
+  source = "./tap.exe";
+  use interface in pattern {integer};
+}
+
+application ring {
+  instance a = member on "hostA";
+  instance b = member on "hostA";
+  instance c = member on "hostB";
+  bind "a out" "b in";
+  bind "b out" "c in";
+  bind "c out" "a in";
+}
+|}
+
+let member_source =
+  {|
+module member;
+
+var passes: int = 0;
+
+proc main() {
+  var token: int;
+  mh_init();
+  while (true) {
+    R: mh_read("in", token);
+    passes = passes + 1;
+    token = token + 1;
+    sleep(1);
+    mh_write("out", token);
+  }
+}
+|}
+
+(* The tap observes every pass: each member's out fans out to the next
+   member AND to the tap, so the tap sees the full token history. *)
+let tap_source =
+  {|
+module tap;
+
+var seen: int = 0;
+
+proc main() {
+  var t: int;
+  mh_init();
+  while (true) {
+    mh_read("in", t);
+    seen = seen + 1;
+    print(t);
+  }
+}
+|}
+
+let sources = [ ("member", member_source); ("tap", tap_source) ]
+
+let hosts =
+  [ { Bus.host_name = "hostA"; arch = Dr_state.Arch.x86_64 };
+    { Bus.host_name = "hostB"; arch = Dr_state.Arch.sparc32 };
+    { Bus.host_name = "hostC"; arch = Dr_state.Arch.m68k } ]
+
+let load () =
+  match Dynrecon.System.load ~mil ~sources () with
+  | Ok system -> system
+  | Error e -> failwith ("ring: load failed: " ^ e)
+
+let start ?params system =
+  match
+    Dynrecon.System.start system ~app:"ring" ~hosts ?params ~default_host:"hostA"
+      ()
+  with
+  | Ok bus ->
+    (match Bus.spawn bus ~instance:"tap" ~module_name:"tap" ~host:"hostA" () with
+    | Ok () -> ()
+    | Error e -> failwith ("ring: tap: " ^ e));
+    List.iter
+      (fun m -> Bus.add_route bus ~src:(m, "out") ~dst:("tap", "in"))
+      [ "a"; "b"; "c" ];
+    Bus.inject bus ~dst:("a", "in") (Dr_state.Value.Vint 0);
+    bus
+  | Error e -> failwith ("ring: start failed: " ^ e)
+
+let passes bus ~instance =
+  match Bus.machine bus ~instance with
+  | Some m -> (
+    match Dr_interp.Machine.read_global m "passes" with
+    | Some (Dr_state.Value.Vint n) -> n
+    | _ -> -1)
+  | None -> -1
+
+let total_passes bus ~instances =
+  List.fold_left
+    (fun acc instance -> acc + max 0 (passes bus ~instance))
+    0 instances
+
+let insert_member bus ~instance ~host ~after ~before =
+  match Bus.spawn bus ~instance ~module_name:"member" ~host () with
+  | Error _ as e -> e
+  | Ok () ->
+    Bus.del_route bus ~src:(after, "out") ~dst:(before, "in");
+    Bus.add_route bus ~src:(after, "out") ~dst:(instance, "in");
+    Bus.add_route bus ~src:(instance, "out") ~dst:(before, "in");
+    Bus.add_route bus ~src:(instance, "out") ~dst:("tap", "in");
+    Ok ()
+
+let bypass_member bus ~instance ~pred ~succ =
+  Bus.del_route bus ~src:(pred, "out") ~dst:(instance, "in");
+  Bus.add_route bus ~src:(pred, "out") ~dst:(succ, "in")
+  (* the bypassed member's own out-route stays: a token it holds or has
+     queued still drains to [succ] *)
+
+let find_token bus ~members =
+  List.find_map
+    (fun instance ->
+      match Bus.take_queue bus (instance, "in") with
+      | [ Dr_state.Value.Vint v ] -> Some v
+      | [] -> None
+      | _ -> None)
+    members
+
+let tap_history bus =
+  List.filter_map int_of_string_opt (Bus.outputs bus ~instance:"tap")
+
+let history_consecutive history =
+  let rec check expected = function
+    | [] -> true
+    | v :: rest -> v = expected && check (expected + 1) rest
+  in
+  check 1 history

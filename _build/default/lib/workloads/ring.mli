@@ -1,0 +1,51 @@
+(** A token ring whose topology evolves while the token circulates — an
+    adaptation of the evolving philosophers problem (Kramer & Magee,
+    discussed in the paper's §4). Members pass an incrementing token;
+    reconfigurations insert members, migrate a member that may be
+    holding the token (its value is then part of the captured process
+    state), and remove members by re-routing around them.
+
+    Invariant: the token is never lost or duplicated, so its value
+    always equals the total number of passes performed by all members,
+    past and present. *)
+
+val mil : string
+val sources : (string * string) list
+val hosts : Dr_bus.Bus.host list
+
+val load : unit -> Dynrecon.System.t
+
+val start : ?params:Dr_bus.Bus.params -> Dynrecon.System.t -> Dr_bus.Bus.t
+(** Deploys the 3-member ring a → b → c → a and injects the initial
+    token (value 0) into [a]. *)
+
+val passes : Dr_bus.Bus.t -> instance:string -> int
+(** The member's pass counter (-1 if the instance is gone). *)
+
+val total_passes : Dr_bus.Bus.t -> instances:string list -> int
+
+val insert_member :
+  Dr_bus.Bus.t ->
+  instance:string ->
+  host:string ->
+  after:string ->
+  before:string ->
+  (unit, string) result
+(** Splice a new member into the ring between [after] and [before]. *)
+
+val bypass_member :
+  Dr_bus.Bus.t -> instance:string -> pred:string -> succ:string -> unit
+(** Route [pred] around [instance] (first step of safe removal); the
+    bypassed member keeps its outgoing route so a token it still holds
+    drains to [succ]. *)
+
+val find_token : Dr_bus.Bus.t -> members:string list -> int option
+(** Drain the ring's queues and return the token value, if the token is
+    currently queued (it may instead be inside a member). *)
+
+val tap_history : Dr_bus.Bus.t -> int list
+(** Every token value the tap observer has seen, in order. *)
+
+val history_consecutive : int list -> bool
+(** True iff the history is exactly 1, 2, 3, … — the token was never
+    lost, duplicated or reordered by any reconfiguration. *)

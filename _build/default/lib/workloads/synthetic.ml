@@ -1,0 +1,199 @@
+let parse name source =
+  try Dr_lang.Parser.parse_program source
+  with Dr_lang.Parser.Error (message, line) ->
+    failwith (Printf.sprintf "synthetic %s: line %d: %s" name line message)
+
+let hotloop ~rounds ~inner =
+  parse "hotloop"
+    (Printf.sprintf
+       {|
+module hotloop;
+
+var acc: int = 0;
+
+proc rare_check(round: int) {
+  Rrare: acc = acc + round %% 7;
+}
+
+proc main() {
+  var i: int;
+  var j: int;
+  mh_init();
+  i = 0;
+  while (i < %d) {
+    j = 0;
+    while (j < %d) {
+      acc = acc + (j * 31) %% 97;
+      Rinner: j = j + 1;
+    }
+    Router: i = i + 1;
+    if (i %% 16 == 0) {
+      rare_check(i);
+    }
+  }
+  print("acc=", acc);
+}
+|}
+       rounds inner)
+
+let hotloop_points placement =
+  let point label proc =
+    [ { Dr_transform.Instrument.pt_proc = proc; pt_label = label; pt_vars = None } ]
+  in
+  match placement with
+  | `Inner -> point "Rinner" "main"
+  | `Outer -> point "Router" "main"
+  | `Rare -> point "Rrare" "rare_check"
+
+let deeprec ~depth =
+  parse "deeprec"
+    (Printf.sprintf
+       {|
+module deeprec;
+
+var ticks: int = 0;
+
+proc dive(depth: int, ref out: int) {
+  var here: int;
+  var weight: float;
+  here = depth * 3;
+  weight = float(depth) / 2.0;
+  if (depth <= 0) {
+    while (true) {
+      R: out = out + 1;
+      ticks = ticks + here + int(weight);
+      sleep(1);
+    }
+  }
+  dive(depth - 1, out);
+  out = out + here;
+}
+
+proc main() {
+  var total: int;
+  mh_init();
+  total = 0;
+  dive(%d, total);
+}
+|}
+       depth)
+
+let deeprec_points =
+  [ { Dr_transform.Instrument.pt_proc = "dive"; pt_label = "R"; pt_vars = None } ]
+
+(* A loop whose inner body recomputes a loop-invariant value each
+   iteration. With no label in the inner loop the optimiser can hoist
+   it; a reconfiguration point inside pins it (paper §4: points can
+   prohibit code motion). *)
+let hoistable ?(point = `No) ~rounds ~inner () =
+  let inner_label = match point with `Inner -> "R: " | `No | `Outer -> "" in
+  let outer_label = match point with `Outer -> "R: " | `No | `Inner -> "" in
+  parse "hoistable"
+    (Printf.sprintf
+       {|
+module hoistable;
+
+var acc: int = 0;
+var seed: int = 13;
+
+proc main() {
+  var i: int;
+  var j: int;
+  var scale: int;
+  mh_init();
+  i = 0;
+  while (i < %d) {
+    j = 0;
+    while (j < %d) {
+      scale = seed * 31 + 7;
+      acc = acc + j * scale;
+      %sj = j + 1;
+    }
+    %si = i + 1;
+  }
+  print("acc=", acc);
+}
+|}
+       rounds inner inner_label outer_label)
+
+let hoistable_points =
+  [ { Dr_transform.Instrument.pt_proc = "main"; pt_label = "R"; pt_vars = None } ]
+
+let layered_source ~iterations ~leaf_const ~mid_const ~main_const =
+  Printf.sprintf
+    {|
+module layered;
+
+var out: int = 0;
+
+proc leaf(x: int): int {
+  return x * 2 + %d;
+}
+
+proc mid(x: int): int {
+  var y: int;
+  y = leaf(x);
+  return y + %d;
+}
+
+proc main() {
+  var i: int;
+  var v: int;
+  i = 0;
+  while (i < %d) {
+    v = mid(i + %d);
+    out = out + v;
+    i = i + 1;
+  }
+  print("out=", out);
+}
+|}
+    leaf_const mid_const iterations main_const
+
+let layered ~iterations =
+  parse "layered"
+    (layered_source ~iterations ~leaf_const:1 ~mid_const:10 ~main_const:0)
+
+let layered_pointed ~iterations =
+  parse "layered_pointed"
+    (Printf.sprintf
+       {|
+module layered;
+
+var out: int = 0;
+
+proc leaf(x: int): int {
+  return x * 2 + 1;
+}
+
+proc mid(x: int, ref y: int) {
+  y = leaf(x);
+  R: y = y + 10;
+}
+
+proc main() {
+  var i: int;
+  var v: int;
+  i = 0;
+  while (i < %d) {
+    mid(i, v);
+    out = out + v;
+    i = i + 1;
+  }
+  print("out=", out);
+}
+|}
+       iterations)
+
+let layered_points =
+  [ { Dr_transform.Instrument.pt_proc = "mid"; pt_label = "R"; pt_vars = None } ]
+
+let layered_variant ~iterations ~change =
+  let leaf_const, mid_const, main_const =
+    match change with
+    | `Leaf -> (2, 10, 0)
+    | `Mid -> (1, 20, 0)
+    | `Main -> (1, 10, 5)
+  in
+  parse "layered_variant"
+    (layered_source ~iterations ~leaf_const ~mid_const ~main_const)

@@ -1,0 +1,54 @@
+(** Parameterised synthetic MiniProc programs for the benchmarks.
+
+    - {!hotloop}: a two-level arithmetic loop with candidate
+      reconfiguration points in the inner loop ([Rinner]), the outer loop
+      ([Router]) and a rarely-called procedure ([Rrare]) — the placement
+      trade-off of §4;
+    - {!deeprec}: recursion to a fixed depth with the point in the
+      deepest frame, driving activation-record capture cost and image
+      size;
+    - {!layered} / {!layered_variant}: a three-level call chain whose
+      leaf, middle or main procedure can be "updated", for the
+      procedure-level-update baseline. *)
+
+val hotloop : rounds:int -> inner:int -> Dr_lang.Ast.program
+(** Terminates after [rounds × inner] inner iterations and prints the
+    accumulator. Labels: [Rinner] (hot), [Router] (per round), [Rrare]
+    (in a procedure called once every 16 rounds). *)
+
+val hotloop_points :
+  [ `Inner | `Outer | `Rare ] -> Dr_transform.Instrument.point_spec list
+
+val deeprec : depth:int -> Dr_lang.Ast.program
+(** Dives to [depth] frames, then loops at the bottom around point [R]
+    (sleeping between iterations), so a reconfiguration captures
+    [depth + 2] activation records. *)
+
+val deeprec_points : Dr_transform.Instrument.point_spec list
+
+val hoistable :
+  ?point:[ `No | `Inner | `Outer ] ->
+  rounds:int ->
+  inner:int ->
+  unit ->
+  Dr_lang.Ast.program
+(** An inner loop recomputing a loop-invariant value each iteration.
+    [`Inner] places a reconfiguration point inside the inner loop,
+    pinning the invariant there (the §4 code-motion inhibition);
+    [`Outer] places it in the outer loop, where it does not block
+    hoisting from the inner one. *)
+
+val hoistable_points : Dr_transform.Instrument.point_spec list
+
+val layered : iterations:int -> Dr_lang.Ast.program
+(** A loop over a [main → mid → leaf] chain; terminates. *)
+
+val layered_pointed : iterations:int -> Dr_lang.Ast.program
+(** [layered] with a reconfiguration point inside [mid] (so the
+    statement-level approach can reconfigure it at any iteration). *)
+
+val layered_points : Dr_transform.Instrument.point_spec list
+
+val layered_variant :
+  iterations:int -> change:[ `Leaf | `Mid | `Main ] -> Dr_lang.Ast.program
+(** The same program with exactly one procedure's body changed. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Dr_baselines Dr_bus Dr_interp Dr_lang Dr_state Dr_transform Dr_workloads Dynrecon List Option Printf QCheck2 String Support

@@ -1,0 +1,1 @@
+test/test_bus.ml: Alcotest Dr_bus Dr_interp Dr_sim Dr_state Dr_workloads Dynrecon Fmt List Option Printf Support

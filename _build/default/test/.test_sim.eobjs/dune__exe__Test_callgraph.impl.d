@@ -1,0 +1,1 @@
+test/test_callgraph.ml: Alcotest Dr_analysis List String Support

@@ -1,0 +1,1 @@
+test/test_capture.ml: Alcotest Array Dr_interp Dr_state Dr_transform Dr_workloads Float Fmt Lazy List Option Printf QCheck2 Queue String Support

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Dr_lang Dr_state Gen List Printf QCheck2 Result String Support

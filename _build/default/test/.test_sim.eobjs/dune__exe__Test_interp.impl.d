@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Dr_interp Dr_state List Printf String Support

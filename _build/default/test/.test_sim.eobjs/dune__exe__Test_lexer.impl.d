@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Dr_lang Fmt List String

@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Dr_analysis Dr_lang Option Support

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Dr_interp Dr_lang Fmt Hashtbl List Option Printf Support

@@ -1,0 +1,1 @@
+test/test_mil.ml: Alcotest Dr_mil Dr_workloads Gen List Option Printexc QCheck2 String Support

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Dr_interp Dr_lang Dr_opt Dr_transform Dr_workloads Gen Printexc Printf QCheck2 Support

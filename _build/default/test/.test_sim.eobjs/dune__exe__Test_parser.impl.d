@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Dr_lang Gen Printexc Printf QCheck2 String Support

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Dr_lang Float Gen String Support

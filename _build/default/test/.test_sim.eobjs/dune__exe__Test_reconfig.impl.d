@@ -1,0 +1,1 @@
+test/test_reconfig.ml: Alcotest Bytes Dr_bus Dr_interp Dr_reconfig Dr_sim Dr_state Dr_workloads Filename List Scanf String Support Sys

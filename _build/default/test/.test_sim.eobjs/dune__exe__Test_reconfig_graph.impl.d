@@ -1,0 +1,1 @@
+test/test_reconfig_graph.ml: Alcotest Dr_analysis List Printf String Support

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Dr_bus Dr_report Dr_workloads Dynrecon List String Support

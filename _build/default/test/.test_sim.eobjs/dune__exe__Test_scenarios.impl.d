@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Dr_bus Dr_interp Dr_reconfig Dr_sim Dr_state Dr_transform Dr_workloads Dynrecon Hashtbl List Printf Support

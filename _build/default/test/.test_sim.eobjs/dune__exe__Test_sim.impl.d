@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dr_sim Int64 List QCheck2 Support

@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Dr_lang Dr_state Float Fmt Int32 List String

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Dr_bus Dr_interp Dr_reconfig Dr_state Dr_transform Dr_workloads Dynrecon Fmt List Option String

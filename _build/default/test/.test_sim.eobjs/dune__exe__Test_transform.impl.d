@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Dr_analysis Dr_interp Dr_lang Dr_transform Dr_workloads Gen Lazy List Option Printexc QCheck2 String Support

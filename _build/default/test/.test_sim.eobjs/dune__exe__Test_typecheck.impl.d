@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Dr_lang List Printf String Support

@@ -1,0 +1,1 @@
+test/gen.ml: Array Dr_lang Dr_mil Dr_state Float Hashtbl List QCheck2 String

@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Dr_interp Dr_lang Dr_state Dr_transform Fmt Hashtbl List Printf QCheck2 QCheck_alcotest Queue String

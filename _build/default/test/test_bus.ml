@@ -1,0 +1,340 @@
+module Bus = Dr_bus.Bus
+module Machine = Dr_interp.Machine
+module Value = Dr_state.Value
+
+let hosts =
+  [ { Bus.host_name = "hostA"; arch = Dr_state.Arch.x86_64 };
+    { Bus.host_name = "hostB"; arch = Dr_state.Arch.sparc32 } ]
+
+let make_bus ?params () = Bus.create ?params ~hosts ()
+
+let register bus source =
+  match Bus.register_program bus (Support.parse source) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "register: %s" e
+
+let spawn bus ~instance ~module_name ~host =
+  match Bus.spawn bus ~instance ~module_name ~host () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "spawn: %s" e
+
+let producer =
+  {|
+module producer;
+var i: int = 0;
+proc main() {
+  mh_init();
+  while (i < 5) {
+    i = i + 1;
+    mh_write("out", i);
+  }
+}
+|}
+
+let consumer =
+  {|
+module consumer;
+proc main() {
+  var x: int;
+  var got: int;
+  mh_init();
+  while (got < 5) {
+    mh_read("in", x);
+    got = got + 1;
+    print("recv ", x);
+  }
+}
+|}
+
+let test_spawn_and_route () =
+  let bus = make_bus () in
+  register bus producer;
+  register bus consumer;
+  spawn bus ~instance:"p" ~module_name:"producer" ~host:"hostA";
+  spawn bus ~instance:"c" ~module_name:"consumer" ~host:"hostB";
+  Bus.add_route bus ~src:("p", "out") ~dst:("c", "in");
+  Bus.run bus;
+  Alcotest.(check (list string)) "all delivered in order"
+    [ "recv 1"; "recv 2"; "recv 3"; "recv 4"; "recv 5" ]
+    (Bus.outputs bus ~instance:"c");
+  Alcotest.(check bool) "producer halted" true
+    (Bus.process_status bus ~instance:"p" = Some Machine.Halted);
+  Alcotest.(check bool) "consumer halted" true
+    (Bus.process_status bus ~instance:"c" = Some Machine.Halted)
+
+let test_unbound_interface_drops () =
+  let bus = make_bus () in
+  register bus producer;
+  spawn bus ~instance:"p" ~module_name:"producer" ~host:"hostA";
+  Bus.run bus;
+  let drops = Dr_sim.Trace.by_category (Bus.trace bus) "drop" in
+  Alcotest.(check int) "five dropped" 5 (List.length drops)
+
+let test_fanout () =
+  let bus = make_bus () in
+  register bus producer;
+  register bus consumer;
+  spawn bus ~instance:"p" ~module_name:"producer" ~host:"hostA";
+  spawn bus ~instance:"c1" ~module_name:"consumer" ~host:"hostA";
+  spawn bus ~instance:"c2" ~module_name:"consumer" ~host:"hostB";
+  Bus.add_route bus ~src:("p", "out") ~dst:("c1", "in");
+  Bus.add_route bus ~src:("p", "out") ~dst:("c2", "in");
+  Bus.run bus;
+  Alcotest.(check int) "c1 got all" 5 (List.length (Bus.outputs bus ~instance:"c1"));
+  Alcotest.(check int) "c2 got all" 5 (List.length (Bus.outputs bus ~instance:"c2"))
+
+let test_latency_ordering () =
+  (* same-host delivery is faster than cross-host delivery *)
+  let params =
+    { Bus.default_params with local_latency = 0.1; remote_latency = 50.0 }
+  in
+  let bus = make_bus ~params () in
+  register bus producer;
+  register bus consumer;
+  spawn bus ~instance:"p" ~module_name:"producer" ~host:"hostA";
+  spawn bus ~instance:"near" ~module_name:"consumer" ~host:"hostA";
+  spawn bus ~instance:"far" ~module_name:"consumer" ~host:"hostB";
+  Bus.add_route bus ~src:("p", "out") ~dst:("near", "in");
+  Bus.add_route bus ~src:("p", "out") ~dst:("far", "in");
+  let near_done = ref infinity and far_done = ref infinity in
+  Bus.run_while bus (fun () ->
+      if !near_done = infinity && List.length (Bus.outputs bus ~instance:"near") = 5
+      then near_done := Bus.now bus;
+      if !far_done = infinity && List.length (Bus.outputs bus ~instance:"far") = 5
+      then far_done := Bus.now bus;
+      !near_done = infinity || !far_done = infinity);
+  Alcotest.(check bool) "near finishes first" true (!near_done < !far_done)
+
+let test_routes_add_del () =
+  let bus = make_bus () in
+  Bus.add_route bus ~src:("a", "x") ~dst:("b", "y");
+  Bus.add_route bus ~src:("a", "x") ~dst:("c", "z");
+  Bus.add_route bus ~src:("a", "x") ~dst:("b", "y");
+  Alcotest.(check int) "no duplicate routes" 2
+    (List.length (Bus.routes_from bus ("a", "x")));
+  Bus.del_route bus ~src:("a", "x") ~dst:("b", "y");
+  Alcotest.(check (list (pair string string))) "one left" [ ("c", "z") ]
+    (Bus.routes_from bus ("a", "x"));
+  Alcotest.(check (list (pair string string))) "reverse lookup" [ ("a", "x") ]
+    (Bus.routes_to bus ("c", "z"))
+
+let test_queue_operations () =
+  let bus = make_bus () in
+  register bus consumer;
+  spawn bus ~instance:"c1" ~module_name:"consumer" ~host:"hostA";
+  spawn bus ~instance:"c2" ~module_name:"consumer" ~host:"hostA";
+  (* park both consumers first *)
+  Bus.run bus;
+  Bus.inject bus ~dst:("c1", "spare") (Value.Vint 1);
+  Bus.inject bus ~dst:("c1", "spare") (Value.Vint 2);
+  Alcotest.(check int) "two pending" 2 (Bus.pending_messages bus ("c1", "spare"));
+  Bus.copy_queue bus ~src:("c1", "spare") ~dst:("c2", "spare");
+  Alcotest.(check int) "source drained" 0 (Bus.pending_messages bus ("c1", "spare"));
+  Alcotest.(check int) "destination filled" 2
+    (Bus.pending_messages bus ("c2", "spare"));
+  Bus.drop_queue bus ("c2", "spare");
+  Alcotest.(check int) "dropped" 0 (Bus.pending_messages bus ("c2", "spare"))
+
+let test_blocking_read_wakes () =
+  let bus = make_bus () in
+  register bus consumer;
+  spawn bus ~instance:"c" ~module_name:"consumer" ~host:"hostA";
+  Bus.run bus;
+  Alcotest.(check bool) "blocked on in" true
+    (Bus.process_status bus ~instance:"c" = Some (Machine.Blocked_read "in"));
+  List.iter (fun i -> Bus.inject bus ~dst:("c", "in") (Value.Vint i)) [ 1; 2; 3; 4; 5 ];
+  Bus.run bus;
+  Alcotest.(check int) "woke and consumed" 5
+    (List.length (Bus.outputs bus ~instance:"c"))
+
+let test_kill_and_redirect () =
+  let bus = make_bus () in
+  register bus producer;
+  register bus consumer;
+  spawn bus ~instance:"p" ~module_name:"producer" ~host:"hostA";
+  spawn bus ~instance:"old" ~module_name:"consumer" ~host:"hostB";
+  spawn bus ~instance:"new" ~module_name:"consumer" ~host:"hostB";
+  Bus.add_route bus ~src:("p", "out") ~dst:("old", "in");
+  (* let the producer send everything; messages are in flight to old *)
+  Bus.run_while bus (fun () ->
+      Bus.process_status bus ~instance:"p" <> Some Machine.Halted);
+  (* rebind to new and kill old while messages are still in flight *)
+  Bus.del_route bus ~src:("p", "out") ~dst:("old", "in");
+  Bus.add_route bus ~src:("p", "out") ~dst:("new", "in");
+  Bus.kill bus ~instance:"old";
+  Bus.run bus;
+  Alcotest.(check int) "in-flight messages redirected to the new binding" 5
+    (List.length (Bus.outputs bus ~instance:"new"))
+
+let test_spawn_errors () =
+  let bus = make_bus () in
+  register bus producer;
+  (match Bus.spawn bus ~instance:"x" ~module_name:"ghost" ~host:"hostA" () with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown module accepted");
+  (match Bus.spawn bus ~instance:"x" ~module_name:"producer" ~host:"nohost" () with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown host accepted");
+  spawn bus ~instance:"x" ~module_name:"producer" ~host:"hostA";
+  match Bus.spawn bus ~instance:"x" ~module_name:"producer" ~host:"hostA" () with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate instance accepted"
+
+let test_register_rejects_ill_typed () =
+  let bus = make_bus () in
+  match Bus.register_program bus (Support.parse "module bad;\nproc main() { x = 1; }") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "ill-typed program registered"
+
+let test_instr_cost_advances_clock () =
+  (* with a tiny quantum, virtual time accumulates per executed slice;
+     only the final (halting) quantum's cost goes unaccounted *)
+  let params = { Bus.default_params with instr_cost = 1.0; quantum = 4 } in
+  let bus = Bus.create ~params ~hosts () in
+  register bus producer;
+  spawn bus ~instance:"p" ~module_name:"producer" ~host:"hostA";
+  Bus.run bus;
+  let executed =
+    Machine.instr_count (Option.get (Bus.machine bus ~instance:"p"))
+  in
+  Alcotest.(check bool) "clock reflects instruction cost" true
+    (Bus.now bus >= float_of_int (executed - 4) *. 1.0)
+
+let test_crash_is_traced () =
+  let bus = make_bus () in
+  register bus "module boom;\nproc main() { print(1 / 0); }";
+  spawn bus ~instance:"b" ~module_name:"boom" ~host:"hostA";
+  Bus.run bus;
+  (match Bus.process_status bus ~instance:"b" with
+  | Some (Machine.Crashed _) -> ()
+  | s ->
+    Alcotest.failf "expected crash, got %s"
+      (match s with Some s -> Fmt.str "%a" Machine.pp_status s | None -> "gone"));
+  Alcotest.(check int) "crash traced" 1
+    (List.length (Dr_sim.Trace.by_category (Bus.trace bus) "crash"))
+
+let test_deterministic_runs () =
+  let run () =
+    let bus = make_bus () in
+    register bus producer;
+    register bus consumer;
+    spawn bus ~instance:"p" ~module_name:"producer" ~host:"hostA";
+    spawn bus ~instance:"c" ~module_name:"consumer" ~host:"hostB";
+    Bus.add_route bus ~src:("p", "out") ~dst:("c", "in");
+    Bus.run bus;
+    ( Bus.now bus,
+      Bus.outputs bus ~instance:"c",
+      Dr_sim.Trace.length (Bus.trace bus) )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_deploy_monitor_app () =
+  (* Deploy.deploy wiring: instances, hosts, routes (incl. the reverse
+     client/server route) *)
+  let system = Dr_workloads.Monitor.load () in
+  let bus = Dr_workloads.Monitor.start system in
+  Alcotest.(check (list string)) "instances" [ "display"; "compute"; "sensor" ]
+    (Bus.instances bus);
+  Alcotest.(check (option string)) "compute host" (Some "hostA")
+    (Bus.instance_host bus ~instance:"compute");
+  let routes = Bus.all_routes bus in
+  Alcotest.(check int) "client/server gives two routes + define/use one" 3
+    (List.length routes);
+  Alcotest.(check bool) "reply route exists" true
+    (List.mem (("compute", "display"), ("display", "temper")) routes)
+
+let test_deploy_host_preference () =
+  (* precedence: instance `on` clause > module `machine` attribute >
+     default host *)
+  let mil =
+    {|
+module w {
+  machine = "hostB";
+  define interface out pattern {integer};
+}
+module plain {
+  define interface out pattern {integer};
+}
+application app {
+  instance pinned = w on "hostA";
+  instance attributed = w;
+  instance fallback = plain;
+}
+|}
+  in
+  let source name =
+    Printf.sprintf "module %s;\nproc main() { mh_init(); sleep(100); }" name
+  in
+  let system =
+    match
+      Dynrecon.System.load ~mil
+        ~sources:[ ("w", source "w"); ("plain", source "plain") ]
+        ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "load: %s" e
+  in
+  let bus =
+    match
+      Dynrecon.System.start system ~app:"app" ~hosts ~default_host:"hostA" ()
+    with
+    | Ok bus -> bus
+    | Error e -> Alcotest.failf "start: %s" e
+  in
+  Alcotest.(check (option string)) "on clause wins" (Some "hostA")
+    (Bus.instance_host bus ~instance:"pinned");
+  Alcotest.(check (option string)) "machine attribute next" (Some "hostB")
+    (Bus.instance_host bus ~instance:"attributed");
+  Alcotest.(check (option string)) "default host last" (Some "hostA")
+    (Bus.instance_host bus ~instance:"fallback")
+
+let test_deploy_unknown_app () =
+  let system = Dr_workloads.Monitor.load () in
+  match
+    Dynrecon.System.start system ~app:"nonexistent"
+      ~hosts:Dr_workloads.Monitor.hosts ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown application deployed"
+
+let test_roster_records_history () =
+  let bus = make_bus () in
+  register bus producer;
+  spawn bus ~instance:"p" ~module_name:"producer" ~host:"hostA";
+  Bus.run bus;
+  Bus.kill bus ~instance:"p";
+  match Bus.roster bus with
+  | [ entry ] ->
+    Alcotest.(check string) "instance" "p" entry.r_instance;
+    Alcotest.(check string) "module" "producer" entry.r_module;
+    Alcotest.(check bool) "removed" true (entry.r_status = None);
+    Alcotest.(check bool) "end recorded" true (entry.r_ended <> None);
+    Alcotest.(check bool) "work recorded" true (entry.r_instrs > 0)
+  | roster -> Alcotest.failf "expected one entry, got %d" (List.length roster)
+
+let () =
+  Alcotest.run "bus"
+    [ ( "messaging",
+        [ Alcotest.test_case "spawn and route" `Quick test_spawn_and_route;
+          Alcotest.test_case "unbound drops" `Quick test_unbound_interface_drops;
+          Alcotest.test_case "fanout" `Quick test_fanout;
+          Alcotest.test_case "latency" `Quick test_latency_ordering;
+          Alcotest.test_case "blocking read wakes" `Quick test_blocking_read_wakes ] );
+      ( "routes and queues",
+        [ Alcotest.test_case "add/del routes" `Quick test_routes_add_del;
+          Alcotest.test_case "queue ops" `Quick test_queue_operations;
+          Alcotest.test_case "kill and redirect" `Quick test_kill_and_redirect ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "spawn errors" `Quick test_spawn_errors;
+          Alcotest.test_case "register rejects ill-typed" `Quick
+            test_register_rejects_ill_typed;
+          Alcotest.test_case "crash traced" `Quick test_crash_is_traced ] );
+      ( "timing",
+        [ Alcotest.test_case "instr cost" `Quick test_instr_cost_advances_clock;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_runs ] );
+      ( "deploy",
+        [ Alcotest.test_case "monitor app" `Quick test_deploy_monitor_app;
+          Alcotest.test_case "host preference" `Quick test_deploy_host_preference;
+          Alcotest.test_case "unknown app" `Quick test_deploy_unknown_app;
+          Alcotest.test_case "roster history" `Quick test_roster_records_history ] ) ]

@@ -1,0 +1,117 @@
+module Cg = Dr_analysis.Callgraph
+
+(* Fig. 6-like program: main calls a (twice) and c; a calls b; b calls c;
+   plus an expression-position call. *)
+let sample =
+  Support.parse
+    {|
+module sample;
+
+proc c(): int { return 1; }
+
+proc b() {
+  var x: int;
+  x = c();
+}
+
+proc a() {
+  b();
+  b();
+}
+
+proc main() {
+  a();
+  c();
+  a();
+}
+|}
+
+let graph = Cg.build sample
+
+let test_procs () =
+  Alcotest.(check (list string)) "program order" [ "c"; "b"; "a"; "main" ]
+    (Cg.procs graph)
+
+let test_callees () =
+  Alcotest.(check (list string)) "main callees" [ "a"; "c" ] (Cg.callees graph "main");
+  Alcotest.(check (list string)) "a callees" [ "b" ] (Cg.callees graph "a");
+  Alcotest.(check (list string)) "b callees" [ "c" ] (Cg.callees graph "b");
+  Alcotest.(check (list string)) "c callees" [] (Cg.callees graph "c")
+
+let test_sites_and_ordinals () =
+  let from_main = Cg.sites_from graph "main" in
+  Alcotest.(check (list string)) "main site targets" [ "a"; "c"; "a" ]
+    (List.map (fun (s : Cg.site) -> s.callee) from_main);
+  Alcotest.(check (list int)) "stmt ordinals" [ 0; 1; 2 ]
+    (List.map (fun (s : Cg.site) -> s.ordinal) from_main);
+  let b_sites = Cg.sites_from graph "b" in
+  Alcotest.(check int) "b has one expr site" 1 (List.length b_sites);
+  match b_sites with
+  | [ { position = Cg.Expr_call; callee = "c"; ordinal = 0; _ } ] -> ()
+  | _ -> Alcotest.fail "expression call site shape"
+
+let test_reachability () =
+  Alcotest.(check (list string)) "from main" [ "c"; "b"; "a"; "main" ]
+    (Cg.reachable_from graph "main");
+  Alcotest.(check (list string)) "from a" [ "c"; "b"; "a" ]
+    (Cg.reachable_from graph "a");
+  Alcotest.(check (list string)) "can reach b" [ "b"; "a"; "main" ]
+    (Cg.can_reach graph ~targets:[ "b" ]);
+  Alcotest.(check (list string)) "can reach c" [ "c"; "b"; "a"; "main" ]
+    (Cg.can_reach graph ~targets:[ "c" ])
+
+let test_recursion () =
+  let prog =
+    Support.parse
+      "module t;\nproc f(n: int) { if (n > 0) { f(n - 1); } }\nproc main() { f(3); }"
+  in
+  let g = Cg.build prog in
+  Alcotest.(check (list string)) "self edge" [ "f" ] (Cg.callees g "f");
+  Alcotest.(check (list string)) "reach includes self" [ "f"; "main" ]
+    (Cg.can_reach g ~targets:[ "f" ])
+
+let test_unreachable_proc () =
+  let prog =
+    Support.parse "module t;\nproc orphan() { }\nproc main() { }"
+  in
+  let g = Cg.build prog in
+  Alcotest.(check (list string)) "main only" [ "main" ] (Cg.reachable_from g "main")
+
+let test_dot_output () =
+  let dot = Cg.to_dot graph in
+  Alcotest.(check bool) "has digraph" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  let count_edges =
+    List.length (String.split_on_char '\n' dot)
+  in
+  Alcotest.(check bool) "non-trivial" true (count_edges > 6)
+
+let test_calls_in_nested_blocks () =
+  let prog =
+    Support.parse
+      {|
+module t;
+proc f() { }
+proc main() {
+  while (true) {
+    if (false) { f(); } else { f(); }
+  }
+}
+|}
+  in
+  let g = Cg.build prog in
+  Alcotest.(check int) "both branch sites found" 2
+    (List.length (Cg.sites_from g "main"))
+
+let () =
+  Alcotest.run "callgraph"
+    [ ( "structure",
+        [ Alcotest.test_case "procs" `Quick test_procs;
+          Alcotest.test_case "callees" `Quick test_callees;
+          Alcotest.test_case "sites and ordinals" `Quick test_sites_and_ordinals;
+          Alcotest.test_case "nested blocks" `Quick test_calls_in_nested_blocks ] );
+      ( "reachability",
+        [ Alcotest.test_case "forward/backward" `Quick test_reachability;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "unreachable" `Quick test_unreachable_proc ] );
+      ("output", [ Alcotest.test_case "dot" `Quick test_dot_output ]) ]

@@ -1,0 +1,103 @@
+module Lexer = Dr_lang.Lexer
+module Token = Dr_lang.Token
+
+let tokens source = List.map fst (Lexer.tokenize source)
+
+let toks =
+  Alcotest.testable
+    (fun ppf tok -> Fmt.string ppf (Token.to_string tok))
+    (fun a b -> a = b)
+
+let check_tokens name source expected =
+  Alcotest.(check (list toks)) name (expected @ [ Token.Teof ]) (tokens source)
+
+let test_idents_and_keywords () =
+  check_tokens "keywords vs idents" "module var foo proc refx ref"
+    [ Token.Tmodule; Token.Tvar; Token.Tident "foo"; Token.Tproc;
+      Token.Tident "refx"; Token.Tref ]
+
+let test_numbers () =
+  check_tokens "ints and floats" "0 42 3.5 10.25 2.0e3 7e2"
+    [ Token.Tint_lit 0; Token.Tint_lit 42; Token.Tfloat_lit 3.5;
+      Token.Tfloat_lit 10.25; Token.Tfloat_lit 2000.0;
+      (* "7e2" without a dot lexes as int 7 then ident e2 *)
+      Token.Tint_lit 7; Token.Tident "e2" ]
+
+let test_operators () =
+  check_tokens "operators" "== != <= >= < > = + - * / % && || ! & ^"
+    [ Token.Teq; Token.Tne; Token.Tle; Token.Tge; Token.Tlt; Token.Tgt;
+      Token.Tassign; Token.Tplus; Token.Tminus; Token.Tstar; Token.Tslash;
+      Token.Tpercent; Token.Tandand; Token.Toror; Token.Tbang; Token.Tamp;
+      Token.Tcaret ]
+
+let test_punctuation () =
+  check_tokens "punctuation" "{ } ( ) [ ] , ; :"
+    [ Token.Tlbrace; Token.Trbrace; Token.Tlparen; Token.Trparen;
+      Token.Tlbracket; Token.Trbracket; Token.Tcomma; Token.Tsemi;
+      Token.Tcolon ]
+
+let test_string_literals () =
+  check_tokens "plain string" {|"hello"|} [ Token.Tstr_lit "hello" ];
+  check_tokens "escapes" {|"a\nb\tc\\d\"e"|} [ Token.Tstr_lit "a\nb\tc\\d\"e" ];
+  check_tokens "empty" {|""|} [ Token.Tstr_lit "" ]
+
+let test_line_comments () =
+  check_tokens "line comment" "x // rest of line\ny"
+    [ Token.Tident "x"; Token.Tident "y" ]
+
+let test_block_comments () =
+  check_tokens "block comment" "x /* lots \n of \n stuff */ y"
+    [ Token.Tident "x"; Token.Tident "y" ]
+
+let test_line_numbers () =
+  let toks = Lexer.tokenize "a\nb\n  c" in
+  let lines = List.map snd toks in
+  Alcotest.(check (list int)) "lines" [ 1; 2; 3; 3 ] lines
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let check_error name source expected_fragment =
+  match Lexer.tokenize source with
+  | exception Lexer.Error (message, _) ->
+    if not (contains expected_fragment message) then
+      Alcotest.failf "%s: error %S lacks %S" name message expected_fragment
+  | _ -> Alcotest.failf "%s: expected a lexical error" name
+
+let test_unterminated_string () =
+  check_error "unterminated string" {|"abc|} "unterminated string"
+
+let test_unterminated_comment () =
+  check_error "unterminated comment" "/* abc" "unterminated comment"
+
+let test_bad_escape () = check_error "bad escape" {|"\q"|} "bad escape"
+
+let test_stray_char () = check_error "stray char" "a # b" "unexpected character"
+
+let test_single_pipe () = check_error "single pipe" "a | b" "single '|'"
+
+let test_true_false_null () =
+  check_tokens "literals" "true false null"
+    [ Token.Ttrue; Token.Tfalse; Token.Tnull ]
+
+let () =
+  Alcotest.run "lexer"
+    [ ( "tokens",
+        [ Alcotest.test_case "idents/keywords" `Quick test_idents_and_keywords;
+          Alcotest.test_case "numbers" `Quick test_numbers;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "punctuation" `Quick test_punctuation;
+          Alcotest.test_case "strings" `Quick test_string_literals;
+          Alcotest.test_case "literals" `Quick test_true_false_null;
+          Alcotest.test_case "line comments" `Quick test_line_comments;
+          Alcotest.test_case "block comments" `Quick test_block_comments;
+          Alcotest.test_case "line numbers" `Quick test_line_numbers ] );
+      ( "errors",
+        [ Alcotest.test_case "unterminated string" `Quick test_unterminated_string;
+          Alcotest.test_case "unterminated comment" `Quick
+            test_unterminated_comment;
+          Alcotest.test_case "bad escape" `Quick test_bad_escape;
+          Alcotest.test_case "stray char" `Quick test_stray_char;
+          Alcotest.test_case "single pipe" `Quick test_single_pipe ] ) ]

@@ -1,0 +1,224 @@
+(* Direct tests of the AST→IR lowering: label resolution (including
+   gotos into loop bodies), A-normal-form call extraction,
+   short-circuit compilation, and jump targets. *)
+
+module Ir = Dr_interp.Ir
+module Lower = Dr_interp.Lower
+module Ast = Dr_lang.Ast
+
+let lower_main body =
+  let source = Printf.sprintf "module t;\nproc main() {\n%s\n}" body in
+  let program = Support.parse source in
+  Support.typecheck_ok program;
+  Lower.lower_proc (Option.get (Ast.find_proc program "main"))
+
+let instr_names (code : Ir.proc_code) =
+  Array.to_list
+    (Array.map
+       (function
+         | Ir.Iassign _ -> "assign"
+         | Ir.Icall { ret_temp = Some _; _ } -> "call/ret"
+         | Ir.Icall { ret_temp = None; _ } -> "call"
+         | Ir.Ireturn _ -> "return"
+         | Ir.Ijump _ -> "jump"
+         | Ir.Icjump _ -> "cjump"
+         | Ir.Iprint _ -> "print"
+         | Ir.Isleep _ -> "sleep"
+         | Ir.Ibuiltin (name, _) -> name
+         | Ir.Iskip -> "skip")
+       code.pc_instrs)
+
+let test_implicit_return () =
+  let code = lower_main "skip;" in
+  Alcotest.(check (list string)) "trailing return" [ "skip"; "return" ]
+    (instr_names code)
+
+let test_if_shape () =
+  let code = lower_main "if (true) { skip; } else { print(1); }" in
+  Alcotest.(check (list string)) "diamond"
+    [ "cjump"; "skip"; "jump"; "print"; "return" ]
+    (instr_names code);
+  (match code.pc_instrs.(0) with
+  | Ir.Icjump { if_false; _ } -> Alcotest.(check int) "else target" 3 if_false
+  | _ -> Alcotest.fail "expected cjump");
+  match code.pc_instrs.(2) with
+  | Ir.Ijump target -> Alcotest.(check int) "join target" 4 target
+  | _ -> Alcotest.fail "expected jump"
+
+let test_if_without_else () =
+  let code = lower_main "if (true) { skip; } print(1);" in
+  Alcotest.(check (list string)) "no else jump"
+    [ "cjump"; "skip"; "print"; "return" ]
+    (instr_names code)
+
+let test_while_shape () =
+  let code = lower_main "var i: int; while (i < 3) { i = i + 1; }" in
+  Alcotest.(check (list string)) "loop"
+    [ "cjump"; "assign"; "jump"; "return" ]
+    (instr_names code);
+  (match code.pc_instrs.(2) with
+  | Ir.Ijump target -> Alcotest.(check int) "back edge to condition" 0 target
+  | _ -> Alcotest.fail "expected back jump");
+  match code.pc_instrs.(0) with
+  | Ir.Icjump { if_false; _ } -> Alcotest.(check int) "exit" 3 if_false
+  | _ -> Alcotest.fail "expected cjump"
+
+let test_label_covers_anf_prelude () =
+  let source =
+    "module t;\n\
+     proc f(): int { return 1; }\n\
+     proc main() {\n\
+     var x: int;\n\
+     L: x = f() + 1;\n\
+     goto L;\n\
+     }"
+  in
+  let program = Support.parse source in
+  let code = Lower.lower_proc (Option.get (Ast.find_proc program "main")) in
+  (* L must map to the extracted call, not the assignment, so goto L
+     re-executes the call *)
+  let l_target = List.assoc "L" code.pc_labels in
+  match code.pc_instrs.(l_target) with
+  | Ir.Icall { callee = "f"; ret_temp = Some _; _ } -> ()
+  | instr ->
+    Alcotest.failf "label should hit the call, got %s"
+      (Fmt.str "%a" Ir.pp_instr instr)
+
+let test_goto_into_loop () =
+  let code =
+    lower_main
+      "var i: int;\ngoto In;\nwhile (i < 5) {\nIn: i = i + 1;\n}"
+  in
+  let target = List.assoc "In" code.pc_labels in
+  (* the bare decl emits nothing, so the goto is instruction 0 *)
+  (match code.pc_instrs.(0) with
+  | Ir.Ijump t -> Alcotest.(check int) "goto lands inside loop" target t
+  | instr ->
+    Alcotest.failf "expected jump, got %s" (Fmt.str "%a" Ir.pp_instr instr));
+  Alcotest.(check bool) "target is the increment" true
+    (match code.pc_instrs.(target) with Ir.Iassign _ -> true | _ -> false)
+
+let test_anf_extracts_nested_calls () =
+  let source =
+    "module t;\n\
+     proc f(x: int): int { return x; }\n\
+     proc main() { var y: int; y = f(f(1)) + f(2); }"
+  in
+  let program = Support.parse source in
+  let code = Lower.lower_proc (Option.get (Ast.find_proc program "main")) in
+  let calls =
+    Array.to_list code.pc_instrs
+    |> List.filter (function Ir.Icall _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "three extracted calls" 3 (List.length calls);
+  (* temps are fresh and all declared *)
+  Alcotest.(check int) "three temps" 3 (List.length code.pc_temps);
+  (* no residual Call nodes inside instruction expressions *)
+  let residual = ref false in
+  let rec expr_has_call (e : Ast.expr) =
+    match e with
+    | Call _ -> true
+    | Int _ | Float _ | Bool _ | Str _ | Null | Var _ -> false
+    | Index (a, b) | Binop (_, a, b) -> expr_has_call a || expr_has_call b
+    | Addr (_, e) | Unop (_, e) -> expr_has_call e
+    | Builtin (_, args) -> List.exists expr_has_call args
+  in
+  Array.iter
+    (function
+      | Ir.Iassign (_, e) -> if expr_has_call e then residual := true
+      | Ir.Icjump { cond; _ } -> if expr_has_call cond then residual := true
+      | Ir.Ireturn (Some e) -> if expr_has_call e then residual := true
+      | _ -> ())
+    code.pc_instrs;
+  Alcotest.(check bool) "expressions are call-free" false !residual
+
+let test_short_circuit_compiles_to_jumps () =
+  let code = lower_main "var b: bool; b = true && false;" in
+  let has_cjump =
+    Array.exists
+      (function Ir.Icjump _ -> true | _ -> false)
+      code.pc_instrs
+  in
+  Alcotest.(check bool) "&& uses a conditional jump" true has_cjump
+
+let test_while_condition_calls_reextracted () =
+  (* a call in a while condition must re-run on every iteration: the
+     extraction must sit inside the loop (before the cjump, after the
+     back-edge target) *)
+  let source =
+    "module t;\n\
+     var i: int;\n\
+     proc next(): int { i = i + 1; return i; }\n\
+     proc main() { while (next() < 3) { skip; } }"
+  in
+  let program = Support.parse source in
+  let code = Lower.lower_proc (Option.get (Ast.find_proc program "main")) in
+  (* find the back jump and check its target is the call *)
+  let back_target =
+    Array.to_list code.pc_instrs
+    |> List.filter_map (function Ir.Ijump t -> Some t | _ -> None)
+    |> List.fold_left min max_int
+  in
+  match code.pc_instrs.(back_target) with
+  | Ir.Icall { callee = "next"; _ } -> ()
+  | instr ->
+    Alcotest.failf "loop should re-enter at the call, got %s"
+      (Fmt.str "%a" Ir.pp_instr instr)
+
+let test_unresolved_goto_raises () =
+  let program =
+    Support.parse "module t;\nproc main() { goto nowhere; }"
+  in
+  (* (the typechecker rejects this, but lowering must also be safe) *)
+  match Lower.lower_proc (Option.get (Ast.find_proc program "main")) with
+  | exception Lower.Lower_error _ -> ()
+  | _ -> Alcotest.fail "expected Lower_error"
+
+let test_decl_with_init_assigns () =
+  let code = lower_main "var x: int = 42; print(x);" in
+  Alcotest.(check (list string)) "init is an assignment"
+    [ "assign"; "print"; "return" ]
+    (instr_names code)
+
+let test_decl_without_init_emits_nothing () =
+  let code = lower_main "var x: int; print(0);" in
+  Alcotest.(check (list string)) "no instruction for bare decl"
+    [ "print"; "return" ]
+    (instr_names code);
+  Alcotest.(check (list (pair string string))) "local recorded"
+    [ ("x", "int") ]
+    (List.map
+       (fun (n, ty) -> (n, Dr_lang.Pretty.ty_to_string ty))
+       code.pc_locals)
+
+let test_lower_program_covers_all_procs () =
+  let program =
+    Support.parse "module t;\nproc f() { }\nproc g() { }\nproc main() { }"
+  in
+  let table = Lower.lower_program program in
+  Alcotest.(check int) "three procs" 3 (Hashtbl.length table)
+
+let () =
+  Alcotest.run "lower"
+    [ ( "shapes",
+        [ Alcotest.test_case "implicit return" `Quick test_implicit_return;
+          Alcotest.test_case "if/else" `Quick test_if_shape;
+          Alcotest.test_case "if without else" `Quick test_if_without_else;
+          Alcotest.test_case "while" `Quick test_while_shape;
+          Alcotest.test_case "decl with init" `Quick test_decl_with_init_assigns;
+          Alcotest.test_case "decl without init" `Quick
+            test_decl_without_init_emits_nothing ] );
+      ( "labels and gotos",
+        [ Alcotest.test_case "label covers ANF prelude" `Quick
+            test_label_covers_anf_prelude;
+          Alcotest.test_case "goto into loop" `Quick test_goto_into_loop;
+          Alcotest.test_case "unresolved goto" `Quick test_unresolved_goto_raises ] );
+      ( "calls",
+        [ Alcotest.test_case "ANF extraction" `Quick test_anf_extracts_nested_calls;
+          Alcotest.test_case "short circuit" `Quick
+            test_short_circuit_compiles_to_jumps;
+          Alcotest.test_case "while-condition calls" `Quick
+            test_while_condition_calls_reextracted ] );
+      ( "program",
+        [ Alcotest.test_case "all procs lowered" `Quick
+            test_lower_program_covers_all_procs ] ) ]

@@ -1,0 +1,259 @@
+module Opt = Dr_opt.Optimize
+module Machine = Dr_interp.Machine
+
+let wrap body = Printf.sprintf "module t;\nproc main() {\n%s\n}" body
+
+let run_program program =
+  let sio = Support.script_io () in
+  let m = Machine.create ~io:sio.Support.io program in
+  Machine.run ~max_steps:10_000_000 m;
+  (Support.printed sio, Machine.instr_count m, Machine.status m)
+
+(* behaviour preserved, and never slower *)
+let check_equivalent ?(expect_speedup = false) name source =
+  let program = Support.parse source in
+  Support.typecheck_ok program;
+  let optimized, _stats = Opt.optimize program in
+  Support.typecheck_ok optimized;
+  let prints, instrs, status = run_program program in
+  let prints', instrs', status' = run_program optimized in
+  Alcotest.(check (list string)) (name ^ ": same output") prints prints';
+  Alcotest.(check bool) (name ^ ": same final status") true (status = status');
+  (* a hoisted loop that never runs pays one guard check: allow a
+     constant of slack *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: no slower beyond the guard (%d -> %d)" name instrs
+       instrs')
+    true (instrs' <= instrs + 2);
+  if expect_speedup then
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: strictly faster (%d -> %d)" name instrs instrs')
+      true (instrs' < instrs)
+
+let test_constant_folding () =
+  let program = Support.parse (wrap "print(1 + 2 * 3, \" \", -(4 - 4));") in
+  let folded, stats = Opt.fold program in
+  Alcotest.(check bool) "folded something" true (stats.folded > 0);
+  let prints, _, _ = run_program folded in
+  Alcotest.(check (list string)) "value" [ "7 0" ] prints
+
+let test_dead_branch_pruned () =
+  let program =
+    Support.parse (wrap "if (1 < 2) { print(\"a\"); } else { print(\"b\"); }")
+  in
+  let folded, stats = Opt.fold program in
+  Alcotest.(check int) "one branch pruned" 1 stats.pruned;
+  let prints, _, _ = run_program folded in
+  Alcotest.(check (list string)) "kept the live branch" [ "a" ] prints
+
+let test_labelled_branch_not_pruned () =
+  (* a dead branch containing a label may be a goto target: keep it *)
+  let source = wrap "if (false) { L: print(\"x\"); } goto L;" in
+  let program = Support.parse source in
+  Support.typecheck_ok program;
+  let folded, stats = Opt.fold program in
+  Alcotest.(check int) "nothing pruned" 0 stats.pruned;
+  Support.typecheck_ok folded
+
+let test_while_false_removed () =
+  let program = Support.parse (wrap "while (false) { print(\"never\"); } print(\"end\");") in
+  let folded, stats = Opt.fold program in
+  Alcotest.(check int) "loop removed" 1 stats.pruned;
+  let prints, _, _ = run_program folded in
+  Alcotest.(check (list string)) "end only" [ "end" ] prints
+
+let hoist_source =
+  wrap
+    "var i: int;\n\
+     var s: int;\n\
+     var acc: int;\n\
+     var base: int = 5;\n\
+     while (i < 50) {\n\
+     s = base * 31 + 7;\n\
+     acc = acc + s + i;\n\
+     i = i + 1;\n\
+     }\n\
+     print(acc);"
+
+let test_hoist_invariant () =
+  let program = Support.parse hoist_source in
+  let hoisted, stats = Opt.hoist program in
+  Alcotest.(check int) "one assignment hoisted" 1 stats.hoisted;
+  Support.typecheck_ok hoisted;
+  check_equivalent ~expect_speedup:true "hoist" hoist_source
+
+let test_hoist_blocked_by_label () =
+  let source =
+    wrap
+      "var i: int;\n\
+       var s: int;\n\
+       var acc: int;\n\
+       var base: int = 5;\n\
+       while (i < 50) {\n\
+       s = base * 31 + 7;\n\
+       acc = acc + s + i;\n\
+       R: i = i + 1;\n\
+       }\n\
+       print(acc);"
+  in
+  let program = Support.parse source in
+  let hoisted, stats = Opt.hoist program in
+  Alcotest.(check int) "nothing hoisted" 0 stats.hoisted;
+  Alcotest.(check int) "inhibition counted" 1 stats.blocked_by_labels;
+  Alcotest.(check bool) "program unchanged" true
+    (Dr_lang.Ast.equal_program program hoisted)
+
+let test_hoist_zero_iterations_exact () =
+  (* the guarded prologue must not assign when the loop never runs *)
+  check_equivalent "zero iterations"
+    (wrap
+       "var i: int = 10;\n\
+        var s: int = 99;\n\
+        var base: int = 5;\n\
+        while (i < 5) {\n\
+        s = base * 2;\n\
+        i = i + 1;\n\
+        }\n\
+        print(s);")
+
+let test_hoist_respects_variant_rhs () =
+  (* s depends on i, which the loop assigns: not hoistable *)
+  let source =
+    wrap
+      "var i: int;\nvar s: int;\nwhile (i < 5) {\ns = i * 2;\ni = i + 1;\n}\nprint(s);"
+  in
+  let _, stats = Opt.hoist (Support.parse source) in
+  Alcotest.(check int) "not hoisted" 0 stats.hoisted;
+  check_equivalent "variant rhs" source
+
+let test_hoist_respects_multiple_assignments () =
+  let source =
+    wrap
+      "var i: int;\nvar s: int;\nvar b: int = 3;\n\
+       while (i < 5) {\ns = b * 2;\nif (i == 3) { s = 0; }\ni = i + 1;\n}\nprint(s);"
+  in
+  let _, stats = Opt.hoist (Support.parse source) in
+  Alcotest.(check int) "not hoisted" 0 stats.hoisted;
+  check_equivalent "multiple assignments" source
+
+let test_hoist_respects_earlier_reads () =
+  (* s is read before being assigned within the iteration: iteration 1
+     must see the pre-loop value *)
+  let source =
+    wrap
+      "var i: int;\nvar s: int = 100;\nvar b: int = 3;\nvar acc: int;\n\
+       while (i < 5) {\nacc = acc + s;\ns = b * 2;\ni = i + 1;\n}\nprint(acc);"
+  in
+  let _, stats = Opt.hoist (Support.parse source) in
+  Alcotest.(check int) "not hoisted" 0 stats.hoisted;
+  check_equivalent "earlier reads" source
+
+let test_hoist_respects_cond_reads () =
+  let source =
+    wrap
+      "var s: int;\nvar b: int = 3;\n\
+       while (s < 6) {\ns = b * 2;\nprint(s);\n}"
+  in
+  let _, stats = Opt.hoist (Support.parse source) in
+  Alcotest.(check int) "not hoisted" 0 stats.hoisted;
+  check_equivalent "cond reads target" source
+
+let test_hoist_skips_effectful_rhs () =
+  let source =
+    "module t;\n\
+     var calls: int = 0;\n\
+     proc f(): int { calls = calls + 1; return 3; }\n\
+     proc main() {\n\
+     var i: int;\n\
+     var s: int;\n\
+     while (i < 5) {\n\
+     s = f();\n\
+     i = i + 1;\n\
+     }\n\
+     print(calls);\n\
+     }"
+  in
+  let _, stats = Opt.hoist (Support.parse source) in
+  Alcotest.(check int) "calls not hoisted" 0 stats.hoisted;
+  check_equivalent "effectful rhs" source
+
+let test_nested_loop_hoist () =
+  let program = Dr_workloads.Synthetic.hoistable ~rounds:10 ~inner:10 () in
+  let optimized, stats = Opt.optimize program in
+  Alcotest.(check bool) "hoisted from the inner loop" true (stats.hoisted >= 1);
+  let prints, instrs, _ = run_program program in
+  let prints', instrs', _ = run_program optimized in
+  Alcotest.(check (list string)) "same acc" prints prints';
+  Alcotest.(check bool)
+    (Printf.sprintf "faster (%d -> %d)" instrs instrs')
+    true (instrs' < instrs)
+
+let test_point_inhibits_optimization () =
+  (* the paper's §4 claim, end to end: the same program with a
+     reconfiguration point inside the hot loop cannot be optimised
+     there *)
+  let free = Dr_workloads.Synthetic.hoistable ~rounds:10 ~inner:10 () in
+  let pinned =
+    Dr_workloads.Synthetic.hoistable ~point:`Inner ~rounds:10 ~inner:10 ()
+  in
+  let _, free_stats = Opt.optimize free in
+  let _, pinned_stats = Opt.optimize pinned in
+  Alcotest.(check bool) "free program hoists" true (free_stats.hoisted > 0);
+  Alcotest.(check int) "pinned program hoists nothing" 0 pinned_stats.hoisted;
+  Alcotest.(check bool) "inhibition reported" true
+    (pinned_stats.blocked_by_labels > 0)
+
+let test_transform_after_optimize () =
+  (* the pipeline composes: optimise first, then prepare the optimised
+     program for reconfiguration (points outside hot loops survive) *)
+  let program =
+    Dr_workloads.Synthetic.hoistable ~point:`Inner ~rounds:6 ~inner:6 ()
+  in
+  let optimized, _ = Opt.optimize program in
+  match
+    Dr_transform.Instrument.prepare optimized
+      ~points:Dr_workloads.Synthetic.hoistable_points
+  with
+  | Ok prepared ->
+    Support.typecheck_ok prepared.Dr_transform.Instrument.prepared_program
+  | Error e -> Alcotest.failf "prepare after optimize: %s" e
+
+let prop_fold_preserves_semantics =
+  (* folding random (possibly ill-typed) programs must at least keep
+     them printable and re-parseable; on well-typed terminating programs
+     output equality is covered by the directed tests *)
+  Support.qcheck ~count:200 "fold output still parses" Gen.program (fun p ->
+      let folded, _ = Dr_opt.Optimize.fold p in
+      let printed = Dr_lang.Pretty.program_to_string folded in
+      match Dr_lang.Parser.parse_program printed with
+      | _ -> true
+      | exception e ->
+        QCheck2.Test.fail_reportf "unparseable after fold: %s"
+          (Printexc.to_string e))
+
+let () =
+  Alcotest.run "optimize"
+    [ ( "folding",
+        [ Alcotest.test_case "constants" `Quick test_constant_folding;
+          Alcotest.test_case "dead branch" `Quick test_dead_branch_pruned;
+          Alcotest.test_case "labelled branch kept" `Quick
+            test_labelled_branch_not_pruned;
+          Alcotest.test_case "while(false)" `Quick test_while_false_removed ] );
+      ( "hoisting",
+        [ Alcotest.test_case "invariant" `Quick test_hoist_invariant;
+          Alcotest.test_case "blocked by label" `Quick test_hoist_blocked_by_label;
+          Alcotest.test_case "zero iterations" `Quick
+            test_hoist_zero_iterations_exact;
+          Alcotest.test_case "variant rhs" `Quick test_hoist_respects_variant_rhs;
+          Alcotest.test_case "multiple assignments" `Quick
+            test_hoist_respects_multiple_assignments;
+          Alcotest.test_case "earlier reads" `Quick test_hoist_respects_earlier_reads;
+          Alcotest.test_case "cond reads" `Quick test_hoist_respects_cond_reads;
+          Alcotest.test_case "effectful rhs" `Quick test_hoist_skips_effectful_rhs;
+          Alcotest.test_case "nested loops" `Quick test_nested_loop_hoist ] );
+      ( "reconfiguration interplay",
+        [ Alcotest.test_case "point inhibits motion" `Quick
+            test_point_inhibits_optimization;
+          Alcotest.test_case "transform after optimize" `Quick
+            test_transform_after_optimize ] );
+      ("properties", [ prop_fold_preserves_semantics ]) ]

@@ -1,0 +1,105 @@
+module Placement = Dr_analysis.Placement
+
+let program =
+  Support.parse
+    {|
+module t;
+
+proc rare(x: int) {
+  Rcold: skip;
+}
+
+proc orphan() {
+  Rnever: skip;
+}
+
+proc expr_only(): int {
+  Rbad: skip;
+  return 1;
+}
+
+proc main() {
+  var i: int;
+  var j: int;
+  var v: int;
+  Rtop: skip;
+  while (i < 10) {
+    Rwarm: j = 0;
+    while (j < 10) {
+      Rhot: j = j + 1;
+    }
+    i = i + 1;
+    rare(i);
+    rare(i + 1);
+  }
+  v = expr_only();
+}
+|}
+
+let advices = lazy (Placement.advise program)
+
+let find label =
+  match
+    List.find_opt (fun a -> a.Placement.a_label = label) (Lazy.force advices)
+  with
+  | Some a -> a
+  | None -> Alcotest.failf "no advice for %s" label
+
+let test_tiers () =
+  Alcotest.(check string) "hot" "hot" (Placement.tier_name (find "Rhot").a_tier);
+  Alcotest.(check string) "warm" "warm" (Placement.tier_name (find "Rwarm").a_tier);
+  Alcotest.(check string) "top-level cold" "cold"
+    (Placement.tier_name (find "Rtop").a_tier);
+  Alcotest.(check string) "callee cold" "cold"
+    (Placement.tier_name (find "Rcold").a_tier)
+
+let test_depths_and_order () =
+  Alcotest.(check int) "hot depth" 2 (find "Rhot").a_loop_depth;
+  Alcotest.(check int) "warm depth" 1 (find "Rwarm").a_loop_depth;
+  (* deepest first *)
+  match Lazy.force advices with
+  | first :: _ -> Alcotest.(check string) "hot ranked first" "Rhot" first.a_label
+  | [] -> Alcotest.fail "no advice"
+
+let test_caller_sites () =
+  Alcotest.(check int) "rare called twice" 2 (find "Rcold").a_caller_sites;
+  Alcotest.(check int) "main never called" 0 (find "Rtop").a_caller_sites
+
+let test_instrumentation_cost () =
+  (* a point in rare instruments main and rare, with 2 call edges *)
+  let a = find "Rcold" in
+  Alcotest.(check int) "two relevant procs" 2 a.a_relevant_procs;
+  Alcotest.(check int) "two call edges" 2 a.a_call_edges;
+  (* a point in main only instruments main *)
+  let top = find "Rtop" in
+  Alcotest.(check int) "one relevant proc" 1 top.a_relevant_procs;
+  Alcotest.(check int) "no call edges" 0 top.a_call_edges
+
+let test_unusable_points_flagged () =
+  (* expr_only is reached only through an expression-position call, so a
+     point inside it cannot be instrumented *)
+  let bad = find "Rbad" in
+  Alcotest.(check bool) "flagged unusable" true (bad.a_viable <> None)
+
+let test_unreachable_proc_excluded () =
+  Alcotest.(check bool) "orphan's label not advised" true
+    (List.for_all
+       (fun a -> a.Placement.a_label <> "Rnever")
+       (Lazy.force advices))
+
+let test_no_labels () =
+  let p = Support.parse "module t;\nproc main() { skip; }" in
+  Alcotest.(check int) "empty advice" 0 (List.length (Placement.advise p))
+
+let () =
+  Alcotest.run "placement"
+    [ ( "advisor",
+        [ Alcotest.test_case "tiers" `Quick test_tiers;
+          Alcotest.test_case "depths and order" `Quick test_depths_and_order;
+          Alcotest.test_case "caller sites" `Quick test_caller_sites;
+          Alcotest.test_case "instrumentation cost" `Quick
+            test_instrumentation_cost;
+          Alcotest.test_case "unusable flagged" `Quick test_unusable_points_flagged;
+          Alcotest.test_case "unreachable excluded" `Quick
+            test_unreachable_proc_excluded;
+          Alcotest.test_case "no labels" `Quick test_no_labels ] ) ]

@@ -1,0 +1,75 @@
+module Pretty = Dr_lang.Pretty
+module Parser = Dr_lang.Parser
+module Ast = Dr_lang.Ast
+
+let check_expr_str name expected source =
+  let e = Parser.parse_expr source in
+  Alcotest.(check string) name expected (Pretty.expr_to_string e)
+
+let test_minimal_parens () =
+  check_expr_str "no redundant parens" "1 + 2 * 3" "1 + (2 * 3)";
+  check_expr_str "needed parens kept" "(1 + 2) * 3" "(1 + 2) * 3";
+  check_expr_str "right-assoc paren" "10 - (4 - 3)" "10 - (4 - 3)";
+  check_expr_str "bool structure" "a || b && c" "a || (b && c)";
+  check_expr_str "unary tight" "-x * y" "-x * y"
+
+let test_float_literals () =
+  check_expr_str "keeps decimal" "2.0" "2.0";
+  check_expr_str "fraction" "0.5" "0.5";
+  let printed = Pretty.expr_to_string (Ast.Float 0.1) in
+  Alcotest.(check bool) "0.1 round-trips exactly" true
+    (match Parser.parse_expr printed with
+    | Ast.Float f -> Float.equal f 0.1
+    | _ -> false)
+
+let test_string_escapes () =
+  check_expr_str "escaped" {|"a\nb\t\"q\"\\"|} {|"a\nb\t\"q\"\\"|}
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_stmt_layout () =
+  let program =
+    Support.parse
+      "module t;\nproc main() { if (true) { skip; } else { skip; } while (false) { skip; } }"
+  in
+  let printed = Pretty.program_to_string program in
+  Alcotest.(check bool) "contains else" true (contains printed "} else {")
+
+let test_labels_printed () =
+  let program = Support.parse "module t;\nproc main() { R: skip; goto R; }" in
+  let printed = Pretty.program_to_string program in
+  Alcotest.(check bool) "label" true (contains printed "R: skip;");
+  Alcotest.(check bool) "goto" true (contains printed "goto R;")
+
+let test_program_golden () =
+  let source =
+    "module demo;\n\nvar g: int = 3;\n\nproc f(a: int, ref b: float): int {\n  return a;\n}\n\nproc main() { }\n"
+  in
+  let program = Support.parse source in
+  let printed = Pretty.program_to_string program in
+  let reparsed = Support.parse printed in
+  Alcotest.(check bool) "round trip equal" true (Ast.equal_program program reparsed);
+  (* printing is a fixpoint: pp (parse (pp p)) = pp p *)
+  Alcotest.(check string) "fixpoint" printed (Pretty.program_to_string reparsed)
+
+let prop_fixpoint =
+  Support.qcheck ~count:200 "printing is a fixpoint" Gen.program (fun p ->
+      let once = Dr_lang.Pretty.program_to_string p in
+      let twice =
+        Dr_lang.Pretty.program_to_string (Dr_lang.Parser.parse_program once)
+      in
+      String.equal once twice)
+
+let () =
+  Alcotest.run "pretty"
+    [ ( "formatting",
+        [ Alcotest.test_case "minimal parens" `Quick test_minimal_parens;
+          Alcotest.test_case "float literals" `Quick test_float_literals;
+          Alcotest.test_case "string escapes" `Quick test_string_escapes;
+          Alcotest.test_case "stmt layout" `Quick test_stmt_layout;
+          Alcotest.test_case "labels" `Quick test_labels_printed;
+          Alcotest.test_case "golden round trip" `Quick test_program_golden ] );
+      ("properties", [ prop_fixpoint ]) ]

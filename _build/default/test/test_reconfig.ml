@@ -1,0 +1,413 @@
+module Bus = Dr_bus.Bus
+module P = Dr_reconfig.Primitives
+module Script = Dr_reconfig.Script
+module Machine = Dr_interp.Machine
+
+let monitor () =
+  let system = Dr_workloads.Monitor.load () in
+  Dr_workloads.Monitor.start system
+
+let displayed bus =
+  List.filter_map Dr_workloads.Monitor.parse_displayed
+    (Bus.outputs bus ~instance:"display")
+
+let run_until_displays bus k =
+  Bus.run_while bus ~max_events:2_000_000 (fun () ->
+      List.length (displayed bus) < k)
+
+let test_obj_cap () =
+  let bus = monitor () in
+  match P.obj_cap bus ~instance:"compute" with
+  | Error e -> Alcotest.failf "obj_cap: %s" e
+  | Ok cap ->
+    Alcotest.(check string) "module" "compute" cap.cap_module;
+    Alcotest.(check string) "host" "hostA" cap.cap_host;
+    Alcotest.(check (list string)) "ifaces" [ "display"; "sensor" ] cap.cap_ifaces;
+    Alcotest.(check int) "one outgoing route (reply to display)" 1
+      (List.length cap.cap_out_routes);
+    Alcotest.(check int) "two incoming routes" 2 (List.length cap.cap_in_routes)
+
+let test_obj_cap_missing () =
+  let bus = monitor () in
+  match P.obj_cap bus ~instance:"ghost" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_rebind_batch_applies_atomically () =
+  let bus = monitor () in
+  let batch = P.bind_cap () in
+  P.edit_bind batch (P.Del (("sensor", "out"), ("compute", "sensor")));
+  P.edit_bind batch (P.Add (("sensor", "out"), ("elsewhere", "sensor")));
+  Alcotest.(check int) "batch holds two commands" 2
+    (List.length (P.batch_commands batch));
+  (* nothing applied yet *)
+  Alcotest.(check (list (pair string string))) "untouched before rebind"
+    [ ("compute", "sensor") ]
+    (Bus.routes_from bus ("sensor", "out"));
+  P.rebind bus batch;
+  Alcotest.(check (list (pair string string))) "applied after rebind"
+    [ ("elsewhere", "sensor") ]
+    (Bus.routes_from bus ("sensor", "out"))
+
+let test_translate_image_across_hosts () =
+  let bus = monitor () in
+  let image =
+    { Dr_state.Image.source_module = "compute";
+      records = [ { Dr_state.Image.location = 1; values = [ Dr_state.Value.Vint 7 ] } ];
+      heap = [] }
+  in
+  (match P.translate_image bus ~src_host:"hostA" ~dst_host:"hostB" image with
+  | Ok translated -> Alcotest.check Support.image "identical" image translated
+  | Error e -> Alcotest.failf "translate: %s" e);
+  match P.translate_image bus ~src_host:"hostA" ~dst_host:"nohost" image with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown host accepted"
+
+let test_translate_overflow_fails () =
+  let bus = monitor () in
+  let image =
+    { Dr_state.Image.source_module = "compute";
+      records =
+        [ { Dr_state.Image.location = 1;
+            values = [ Dr_state.Value.Vint 0x7FFF_FFFF_FF ] } ];
+      heap = [] }
+  in
+  (* hostB is sparc32: the 40-bit integer cannot migrate there *)
+  match P.translate_image bus ~src_host:"hostA" ~dst_host:"hostB" image with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected word-size failure"
+
+let test_migrate_monitor () =
+  let bus = monitor () in
+  run_until_displays bus 2;
+  let before = List.length (displayed bus) in
+  let result =
+    Script.run_sync bus (fun ~on_done ->
+        Script.migrate bus ~instance:"compute" ~new_instance:"compute2"
+          ~new_host:"hostB" ~on_done ())
+  in
+  (match result with
+  | Ok "compute2" -> ()
+  | Ok other -> Alcotest.failf "unexpected instance %s" other
+  | Error e -> Alcotest.failf "migrate: %s" e);
+  Alcotest.(check (option string)) "moved" (Some "hostB")
+    (Bus.instance_host bus ~instance:"compute2");
+  Alcotest.(check bool) "old gone" true
+    (not (List.mem "compute" (Bus.instances bus)));
+  run_until_displays bus (before + 3);
+  let avgs = List.map snd (displayed bus) in
+  Alcotest.(check bool) "averages stay correct across the move" true
+    (Dr_workloads.Monitor.averages_plausible ~n:4 avgs);
+  (* ordering property from Fig. 5: the old module divulges before the
+     rebinding commands apply *)
+  let trace = Dr_sim.Trace.entries (Bus.trace bus) in
+  let time_of pred =
+    List.find_map
+      (fun (e : Dr_sim.Trace.entry) -> if pred e then Some e.time else None)
+      trace
+  in
+  let divulge_t =
+    time_of (fun e -> e.category = "state" && e.detail <> "" && String.length e.detail > 7 && String.sub e.detail 0 7 = "compute")
+  in
+  let rebind_t = time_of (fun e -> e.category = "bind" && String.length e.detail > 3 && String.sub e.detail 0 3 = "del") in
+  match divulge_t, rebind_t with
+  | Some d, Some r -> Alcotest.(check bool) "divulge before rebind" true (d <= r)
+  | _ -> Alcotest.fail "missing trace entries"
+
+let test_replace_same_host () =
+  let bus = monitor () in
+  run_until_displays bus 1;
+  let result =
+    Script.run_sync bus (fun ~on_done ->
+        Script.replace bus ~instance:"compute" ~new_instance:"compute_b" ~on_done ())
+  in
+  (match result with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "replace: %s" e);
+  Alcotest.(check (option string)) "same host" (Some "hostA")
+    (Bus.instance_host bus ~instance:"compute_b");
+  run_until_displays bus 3;
+  Alcotest.(check bool) "still correct" true
+    (Dr_workloads.Monitor.averages_plausible ~n:4 (List.map snd (displayed bus)))
+
+let test_update_to_v2 () =
+  (* software maintenance: swap in compute_v2, which reports served
+     requests — the served counter must carry over *)
+  let bus = monitor () in
+  run_until_displays bus 2;
+  let result =
+    Script.run_sync bus (fun ~on_done ->
+        Script.replace bus ~instance:"compute" ~new_instance:"compute_next"
+          ~new_module:"compute_v2" ~on_done ())
+  in
+  (match result with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "update: %s" e);
+  run_until_displays bus 4;
+  Alcotest.(check bool) "correct across version change" true
+    (Dr_workloads.Monitor.averages_plausible ~n:4 (List.map snd (displayed bus)));
+  (* v2 prints the served counter: it must continue from v1's count, so
+     the first report is at least 3 (two served before + one after) *)
+  let served =
+    List.filter_map
+      (fun line ->
+        try Scanf.sscanf line "served %d request(s)" (fun n -> Some n)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+      (Bus.outputs bus ~instance:"compute_next")
+  in
+  match served with
+  | first :: _ ->
+    Alcotest.(check bool) "counter preserved across update" true (first >= 3)
+  | [] -> Alcotest.fail "v2 never reported"
+
+let test_replicate () =
+  let bus = monitor () in
+  run_until_displays bus 1;
+  let result =
+    Script.run_sync bus (fun ~on_done ->
+        Script.replicate bus ~instance:"sensor_sink_placeholder" ~replica_instance:"r"
+          ~on_done ())
+  in
+  (match result with
+  | Error _ -> ()  (* replicating a non-existent instance fails cleanly *)
+  | Ok _ -> Alcotest.fail "expected failure");
+  let result =
+    Script.run_sync bus (fun ~on_done ->
+        Script.replicate bus ~instance:"compute" ~replica_instance:"compute_r"
+          ~replica_host:"hostC" ~on_done ())
+  in
+  (match result with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "replicate: %s" e);
+  Alcotest.(check bool) "original still present" true
+    (List.mem "compute" (Bus.instances bus));
+  Alcotest.(check bool) "replica present" true
+    (List.mem "compute_r" (Bus.instances bus));
+  Alcotest.(check (option string)) "replica host" (Some "hostC")
+    (Bus.instance_host bus ~instance:"compute_r");
+  (* the sensor stream now fans out to both computes *)
+  Alcotest.(check int) "sensor fans out" 2
+    (List.length (Bus.routes_from bus ("sensor", "out")))
+
+let test_add_remove_module () =
+  let bus = monitor () in
+  let spare =
+    Support.parse
+      "module spare;\nproc main() { var x: int; mh_init(); while (true) { mh_read(\"tap\", x); print(\"tap \", x); } }"
+  in
+  (match Bus.register_program bus spare with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "register: %s" e);
+  (match
+     Script.add_module bus ~instance:"tap" ~module_name:"spare" ~host:"hostB"
+       ~binds:[ (("sensor", "out"), ("tap", "tap")) ]
+       ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "add: %s" e);
+  Bus.run_while bus ~max_events:200_000 (fun () ->
+      Bus.outputs bus ~instance:"tap" = []);
+  Alcotest.(check bool) "tap observes sensor traffic" true
+    (Bus.outputs bus ~instance:"tap" <> []);
+  Script.remove_module bus ~instance:"tap";
+  Alcotest.(check bool) "tap gone" true (not (List.mem "tap" (Bus.instances bus)));
+  Alcotest.(check bool) "its routes gone" true
+    (not
+       (List.exists
+          (fun ((src : Bus.endpoint), (dst : Bus.endpoint)) ->
+            fst src = "tap" || fst dst = "tap")
+          (Bus.all_routes bus)))
+
+let test_pending_queue_moves () =
+  (* kill the display momentarily so requests pile up at compute, then
+     replace compute: queued requests must transfer (the "cq" command) *)
+  let bus = monitor () in
+  run_until_displays bus 1;
+  (* inject extra display requests straight into compute's queue *)
+  Bus.inject bus ~dst:("compute", "display") (Dr_state.Value.Vint 4);
+  Bus.inject bus ~dst:("compute", "display") (Dr_state.Value.Vint 4);
+  let result =
+    Script.run_sync bus (fun ~on_done ->
+        Script.replace bus ~instance:"compute" ~new_instance:"c2" ~on_done ())
+  in
+  (match result with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "replace: %s" e);
+  (* queued requests either moved to c2's queue or were consumed while
+     the script waited for the reconfiguration point *)
+  let queue_entries =
+    List.filter
+      (fun (e : Dr_sim.Trace.entry) -> e.category = "queue")
+      (Dr_sim.Trace.entries (Bus.trace bus))
+  in
+  Alcotest.(check bool) "cq/rmq commands executed" true (queue_entries <> []);
+  Bus.run_while bus ~max_events:2_000_000 (fun () ->
+      List.length (displayed bus) < 3);
+  Alcotest.(check bool) "no request lost: averages keep flowing" true
+    (List.length (displayed bus) >= 3)
+
+let test_replace_stateless () =
+  (* the sensor has no reconfiguration points; SURGEON-style stateless
+     replacement swaps it immediately and the application keeps
+     working (the sensor stream restarts at 1) *)
+  let bus = monitor () in
+  run_until_displays bus 2;
+  let before = List.length (displayed bus) in
+  (match
+     Script.replace_stateless bus ~instance:"sensor" ~new_instance:"sensor2" ()
+   with
+  | Ok "sensor2" -> ()
+  | Ok other -> Alcotest.failf "unexpected %s" other
+  | Error e -> Alcotest.failf "stateless replace: %s" e);
+  Alcotest.(check bool) "immediate (no waiting for a point)" true
+    (List.mem "sensor2" (Bus.instances bus)
+    && not (List.mem "sensor" (Bus.instances bus)));
+  run_until_displays bus (before + 3);
+  Alcotest.(check bool) "application still producing" true
+    (List.length (displayed bus) >= before + 3);
+  (* but the stream restarted: the post-replacement averages come from a
+     fresh 1,2,3,… sequence — visible evidence that state was lost *)
+  let after = List.filteri (fun i _ -> i >= before) (displayed bus) in
+  match after with
+  | (_, first_avg) :: _ ->
+    Alcotest.(check bool) "stream restarted low" true (first_avg < 30.0)
+  | [] -> Alcotest.fail "no averages after"
+
+let test_freeze_thaw_cold_restart () =
+  (* freeze compute to bytes, shut the whole platform down, start a NEW
+     bus (a "platform upgrade"), thaw from the bytes, and verify the
+     application resumes with its state *)
+  let bus = monitor () in
+  run_until_displays bus 2;
+  let served_before =
+    match Bus.machine bus ~instance:"compute" with
+    | Some m -> (
+      match Machine.read_global m "served" with
+      | Some (Dr_state.Value.Vint n) -> n
+      | _ -> 0)
+    | None -> 0
+  in
+  Alcotest.(check bool) "some requests served" true (served_before >= 2);
+  let frozen =
+    match Dr_reconfig.Freeze.freeze bus ~instance:"compute" () with
+    | Ok bytes -> bytes
+    | Error e -> Alcotest.failf "freeze: %s" e
+  in
+  Alcotest.(check bool) "instance gone after freeze" true
+    (not (List.mem "compute" (Bus.instances bus)));
+  (* round-trip through "disk" *)
+  let path = Filename.temp_file "dynrecon" ".img" in
+  (match Dr_reconfig.Freeze.save ~path frozen with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" e);
+  let reloaded =
+    match Dr_reconfig.Freeze.load ~path with
+    | Ok bytes -> bytes
+    | Error e -> Alcotest.failf "load: %s" e
+  in
+  Sys.remove path;
+  (* brand new platform instance *)
+  let bus2 = monitor () in
+  Bus.kill bus2 ~instance:"compute";
+  (match
+     Dr_reconfig.Freeze.thaw bus2 ~instance:"compute_thawed"
+       ~module_name:"compute" ~host:"hostB" reloaded
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "thaw: %s" e);
+  (* re-point the monitor's routes at the thawed instance *)
+  List.iter
+    (fun ((src : Bus.endpoint), (dst : Bus.endpoint)) ->
+      if fst src = "compute" || fst dst = "compute" then
+        Bus.del_route bus2 ~src ~dst)
+    (Bus.all_routes bus2);
+  Bus.add_route bus2 ~src:("display", "temper") ~dst:("compute_thawed", "display");
+  Bus.add_route bus2 ~src:("compute_thawed", "display") ~dst:("display", "temper");
+  Bus.add_route bus2 ~src:("sensor", "out") ~dst:("compute_thawed", "sensor");
+  Bus.run_while bus2 ~max_events:2_000_000 (fun () ->
+      List.length (displayed bus2) < 2);
+  (* the served counter survived the platform restart *)
+  match Bus.machine bus2 ~instance:"compute_thawed" with
+  | Some m -> (
+    match Machine.read_global m "served" with
+    | Some (Dr_state.Value.Vint n) ->
+      Alcotest.(check bool) "state survived cold restart" true
+        (n >= served_before)
+    | _ -> Alcotest.fail "no counter")
+  | None -> Alcotest.fail "thawed instance missing"
+
+let test_thaw_rejects_corrupt_bytes () =
+  let bus = monitor () in
+  match
+    Dr_reconfig.Freeze.thaw bus ~instance:"x" ~module_name:"compute"
+      ~host:"hostA" (Bytes.of_string "not an image")
+  with
+  | Error e ->
+    Alcotest.(check bool) "mentions corruption" true
+      (let contains needle haystack =
+         let n = String.length needle and h = String.length haystack in
+         let rec go i =
+           i + n <= h && (String.sub haystack i n = needle || go (i + 1))
+         in
+         n = 0 || go 0
+       in
+       contains "corrupt" e)
+  | Ok () -> Alcotest.fail "corrupt bytes accepted"
+
+let test_script_trace_order () =
+  (* Fig. 5 event order: script starts -> signal -> divulge -> rebind ->
+     clone starts -> old removed *)
+  let bus = monitor () in
+  run_until_displays bus 1;
+  let _ =
+    Script.run_sync bus (fun ~on_done ->
+        Script.migrate bus ~instance:"compute" ~new_instance:"c2" ~new_host:"hostB"
+          ~on_done ())
+  in
+  let entries = Dr_sim.Trace.entries (Bus.trace bus) in
+  let index_of pred =
+    let rec go i = function
+      | [] -> None
+      | e :: rest -> if pred e then Some i else go (i + 1) rest
+    in
+    go 0 entries
+  in
+  let starts_with prefix (e : Dr_sim.Trace.entry) =
+    String.length e.detail >= String.length prefix
+    && String.sub e.detail 0 (String.length prefix) = prefix
+  in
+  let signal_i =
+    index_of (fun e -> e.category = "signal" && starts_with "reconfiguration" e)
+  in
+  let divulge_i = index_of (fun e -> e.category = "state" && starts_with "compute divulged" e) in
+  let clone_i = index_of (fun e -> e.category = "lifecycle" && starts_with "c2" e) in
+  let removed_i = index_of (fun e -> e.category = "lifecycle" && starts_with "compute removed" e) in
+  match signal_i, divulge_i, clone_i, removed_i with
+  | Some s, Some d, Some c, Some r ->
+    Alcotest.(check bool) "signal < divulge < clone < removed" true
+      (s < d && d < c && c < r)
+  | _ -> Alcotest.fail "missing script trace entries"
+
+let () =
+  Alcotest.run "reconfig"
+    [ ( "primitives",
+        [ Alcotest.test_case "obj_cap" `Quick test_obj_cap;
+          Alcotest.test_case "obj_cap missing" `Quick test_obj_cap_missing;
+          Alcotest.test_case "rebind batch" `Quick
+            test_rebind_batch_applies_atomically;
+          Alcotest.test_case "translate image" `Quick
+            test_translate_image_across_hosts;
+          Alcotest.test_case "translate overflow" `Quick
+            test_translate_overflow_fails ] );
+      ( "scripts",
+        [ Alcotest.test_case "migrate monitor" `Quick test_migrate_monitor;
+          Alcotest.test_case "replace same host" `Quick test_replace_same_host;
+          Alcotest.test_case "update to v2" `Quick test_update_to_v2;
+          Alcotest.test_case "replicate" `Quick test_replicate;
+          Alcotest.test_case "add/remove module" `Quick test_add_remove_module;
+          Alcotest.test_case "pending queues move" `Quick test_pending_queue_moves;
+          Alcotest.test_case "stateless replacement" `Quick test_replace_stateless;
+          Alcotest.test_case "script trace order" `Quick test_script_trace_order ] );
+      ( "freeze/thaw",
+        [ Alcotest.test_case "cold restart" `Quick test_freeze_thaw_cold_restart;
+          Alcotest.test_case "corrupt bytes" `Quick test_thaw_rejects_corrupt_bytes ] ) ]

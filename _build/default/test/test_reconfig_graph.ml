@@ -1,0 +1,233 @@
+module Rg = Dr_analysis.Reconfig_graph
+
+let build source points =
+  match Rg.build (Support.parse source) ~points with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "build failed: %s" e
+
+let build_err source points =
+  match Rg.build (Support.parse source) ~points with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> e
+
+(* The paper's Fig. 6 shape: main calls a and b; a and b contain
+   reconfiguration points R1 and R2; c is called but not on any path to a
+   point. *)
+let fig6 =
+  {|
+module fig6;
+
+proc c() { }
+
+proc a() {
+  R1: skip;
+  c();
+}
+
+proc b() {
+  skip;
+  R2: skip;
+}
+
+proc main() {
+  a();
+  c();
+  b();
+  a();
+}
+|}
+
+let test_relevant_set () =
+  let g = build fig6 [ ("a", "R1"); ("b", "R2") ] in
+  Alcotest.(check (list string)) "a, b, main relevant (not c)"
+    [ "a"; "b"; "main" ] g.relevant
+
+let test_edge_numbering () =
+  let g = build fig6 [ ("a", "R1"); ("b", "R2") ] in
+  let describe = function
+    | Rg.Call_edge { index; src; callee; ordinal; _ } ->
+      Printf.sprintf "%d:%s->%s@%d" index src callee ordinal
+    | Rg.Point_edge { index; src; rlabel; _ } ->
+      Printf.sprintf "%d:%s->R[%s]" index src rlabel
+  in
+  (* program order: a (point R1), b (point R2), then main's call sites to
+     a (ordinal 0), b (ordinal 2), a (ordinal 3) — c's site (ordinal 1)
+     is skipped. *)
+  Alcotest.(check (list string)) "edges"
+    [ "1:a->R[R1]"; "2:b->R[R2]"; "3:main->a@0"; "4:main->b@2"; "5:main->a@3" ]
+    (List.map describe g.edges)
+
+let test_edges_from () =
+  let g = build fig6 [ ("a", "R1"); ("b", "R2") ] in
+  Alcotest.(check int) "main has three edges" 3
+    (List.length (Rg.edges_from g "main"));
+  Alcotest.(check int) "a has one edge" 1 (List.length (Rg.edges_from g "a"))
+
+let test_monitor_numbering () =
+  (* the monitor example's numbering: compute's self-call then R, then
+     main's two calls — with main listed first, as in the paper's Fig. 3,
+     edges are main:1, main:2, compute-call:3, R:4 *)
+  let source =
+    {|
+module m;
+
+proc main() {
+  var r: float;
+  while (true) {
+    compute(4, 4, r);
+    compute(1, 1, r);
+  }
+}
+
+proc compute(num: int, n: int, ref rp: float) {
+  if (n <= 0) { rp = 0.0; return; }
+  compute(num, n - 1, rp);
+  R: skip;
+}
+|}
+  in
+  let g = build source [ ("compute", "R") ] in
+  let indexes =
+    List.map
+      (function
+        | Rg.Call_edge { index; src; callee; _ } ->
+          Printf.sprintf "%d:%s->%s" index src callee
+        | Rg.Point_edge { index; src; _ } -> Printf.sprintf "%d:%s->R" index src)
+      g.edges
+  in
+  Alcotest.(check (list string)) "paper-style numbering"
+    [ "1:main->compute"; "2:main->compute"; "3:compute->compute"; "4:compute->R" ]
+    indexes
+
+let test_recursive_point_proc () =
+  let g =
+    build
+      "module t;\nproc f(n: int) { if (n > 0) { f(n - 1); } R: skip; }\nproc main() { f(3); }"
+      [ ("f", "R") ]
+  in
+  Alcotest.(check (list string)) "f and main" [ "f"; "main" ] g.relevant;
+  Alcotest.(check int) "three edges (f self, f point, main call)" 3
+    (List.length g.edges)
+
+let test_unknown_proc () =
+  let e = build_err fig6 [ ("nosuch", "R1") ] in
+  Alcotest.(check bool) "mentions procedure" true
+    (String.length e > 0 && e <> "")
+
+let test_unknown_label () =
+  let e = build_err fig6 [ ("a", "R9") ] in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "mentions label" true (contains "no such label" e)
+
+let test_no_main () =
+  let e =
+    build_err "module t;\nproc f() { R: skip; }" [ ("f", "R") ]
+  in
+  Alcotest.(check bool) "mentions main" true
+    (let contains needle haystack =
+       let n = String.length needle and h = String.length haystack in
+       let rec go i =
+         i + n <= h && (String.sub haystack i n = needle || go (i + 1))
+       in
+       n = 0 || go 0
+     in
+     contains "main" e)
+
+let test_unreachable_point () =
+  let e =
+    build_err "module t;\nproc f() { R: skip; }\nproc main() { }" [ ("f", "R") ]
+  in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "mentions reachability" true
+    (contains "not reachable" e)
+
+let test_expression_call_rejected () =
+  let e =
+    build_err
+      {|
+module t;
+proc f(): int { R: skip; return 1; }
+proc main() { var x: int; x = f() + 1; }
+|}
+      [ ("f", "R") ]
+  in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "mentions expression position" true
+    (contains "expression position" e)
+
+let test_expression_call_off_path_ok () =
+  (* an expression call to a procedure NOT on a path to any point is
+     fine *)
+  let g =
+    build
+      {|
+module t;
+proc pure(): int { return 1; }
+proc f() { R: skip; }
+proc main() { var x: int; x = pure(); f(); }
+|}
+      [ ("f", "R") ]
+  in
+  Alcotest.(check (list string)) "pure excluded" [ "f"; "main" ] g.relevant
+
+let test_point_on_call_stmt () =
+  (* a reconfiguration point labelling a call statement produces both a
+     point edge and a call edge, point first *)
+  let g =
+    build
+      "module t;\nproc g() { }\nproc f() { R: g(); R2: skip; }\nproc main() { f(); }"
+      [ ("f", "R"); ("f", "R2") ]
+  in
+  (* g is not relevant (contains no point and reaches none) so R's call
+     does not produce a call edge; check the point ordering anyway *)
+  match g.edges with
+  | Rg.Point_edge { index = 1; rlabel = "R"; _ }
+    :: Rg.Point_edge { index = 2; rlabel = "R2"; _ } :: _ ->
+    ()
+  | _ -> Alcotest.fail "point edges missing or misordered"
+
+let test_dot () =
+  let g = build fig6 [ ("a", "R1"); ("b", "R2") ] in
+  let dot = Rg.to_dot g in
+  Alcotest.(check bool) "mentions reconfig node" true
+    (let contains needle haystack =
+       let n = String.length needle and h = String.length haystack in
+       let rec go i =
+         i + n <= h && (String.sub haystack i n = needle || go (i + 1))
+       in
+       n = 0 || go 0
+     in
+     contains "reconfig" dot)
+
+let () =
+  Alcotest.run "reconfig_graph"
+    [ ( "construction",
+        [ Alcotest.test_case "relevant set" `Quick test_relevant_set;
+          Alcotest.test_case "edge numbering" `Quick test_edge_numbering;
+          Alcotest.test_case "edges_from" `Quick test_edges_from;
+          Alcotest.test_case "monitor numbering" `Quick test_monitor_numbering;
+          Alcotest.test_case "recursive point proc" `Quick
+            test_recursive_point_proc;
+          Alcotest.test_case "point on call stmt" `Quick test_point_on_call_stmt ] );
+      ( "validation",
+        [ Alcotest.test_case "unknown proc" `Quick test_unknown_proc;
+          Alcotest.test_case "unknown label" `Quick test_unknown_label;
+          Alcotest.test_case "no main" `Quick test_no_main;
+          Alcotest.test_case "unreachable point" `Quick test_unreachable_point;
+          Alcotest.test_case "expression call rejected" `Quick
+            test_expression_call_rejected;
+          Alcotest.test_case "expression call off-path ok" `Quick
+            test_expression_call_off_path_ok ] );
+      ("output", [ Alcotest.test_case "dot" `Quick test_dot ]) ]

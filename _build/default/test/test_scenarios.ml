@@ -1,0 +1,321 @@
+(* Cross-cutting behavioural scenarios beyond the single-feature suites:
+   multiple reconfiguration points, deep non-recursive call chains,
+   signals during restoration, and repeated randomised reconfigurations
+   of a live application. *)
+
+module I = Dr_transform.Instrument
+module Machine = Dr_interp.Machine
+module Value = Dr_state.Value
+module Bus = Dr_bus.Bus
+
+(* ------------------------------------------------ multiple points *)
+
+(* Two points in two different procedures: whichever the module reaches
+   first after the signal performs the capture, and restoration resumes
+   at the right one. *)
+let two_points_source =
+  {|
+module twopoints;
+
+var phase: int = 0;
+var ticks: int = 0;
+
+proc in_a() {
+  Ra: ticks = ticks + 1;
+  sleep(1);
+}
+
+proc in_b() {
+  Rb: ticks = ticks + 10;
+  sleep(1);
+}
+
+proc main() {
+  mh_init();
+  while (true) {
+    phase = 1;
+    in_a();
+    phase = 2;
+    in_b();
+  }
+}
+|}
+
+let prepare_two_points () =
+  (Support.prepare two_points_source
+     [ Support.point "in_a" "Ra"; Support.point "in_b" "Rb" ])
+    .I
+    .prepared_program
+
+let capture_after program steps =
+  let sio = Support.script_io () in
+  let m = Machine.create ~io:sio.Support.io program in
+  Machine.run ~max_steps:steps m;
+  Machine.deliver_signal m;
+  Machine.set_ready m;
+  (* keep waking through sleeps until the capture happens *)
+  let guard = ref 0 in
+  while Machine.status m <> Machine.Halted && !guard < 10_000 do
+    Machine.set_ready m;
+    Machine.run ~max_steps:1_000 m;
+    incr guard
+  done;
+  match sio.Support.divulged with
+  | [ image ] -> image
+  | images -> Alcotest.failf "expected one image, got %d" (List.length images)
+
+let restore_and_observe program image =
+  let sio = Support.script_io () in
+  let clone = Machine.create ~status_attr:"clone" ~io:sio.Support.io program in
+  Machine.feed_image clone image;
+  Machine.run ~max_steps:10_000 clone;
+  clone
+
+let test_two_points_both_capture () =
+  let program = prepare_two_points () in
+  (* different interruption offsets reach different points *)
+  let locations =
+    List.map
+      (fun steps ->
+        let image = capture_after program steps in
+        match image.Dr_state.Image.records with
+        | first :: _ -> first.location
+        | [] -> Alcotest.fail "empty image")
+      [ 5; 12; 19; 26; 33 ]
+  in
+  let distinct = List.sort_uniq compare locations in
+  Alcotest.(check bool) "captures happened at more than one point" true
+    (List.length distinct >= 2)
+
+let test_two_points_restore_each () =
+  let program = prepare_two_points () in
+  List.iter
+    (fun steps ->
+      let image = capture_after program steps in
+      let clone = restore_and_observe program image in
+      (* the clone must be alive (sleeping inside one of the procs) with
+         a two-frame stack *)
+      (match Machine.status clone with
+      | Machine.Sleeping _ -> ()
+      | s -> Alcotest.failf "clone not resumed: %a" Machine.pp_status s);
+      Alcotest.(check int) "stack rebuilt" 2 (Machine.stack_depth clone))
+    [ 5; 12; 19; 26 ]
+
+(* --------------------------------------- three-procedure call chain *)
+
+let chain_source =
+  {|
+module chain;
+
+var log_count: int = 0;
+
+proc deepest(x: int, ref out: int) {
+  var local_c: int;
+  local_c = x * 100;
+  while (true) {
+    R: out = out + local_c;
+    sleep(1);
+  }
+}
+
+proc middle(x: int, ref out: int) {
+  var local_b: int;
+  local_b = x + 7;
+  deepest(local_b, out);
+}
+
+proc top(x: int, ref out: int) {
+  var local_a: int;
+  local_a = x * 2;
+  middle(local_a, out);
+}
+
+proc main() {
+  var acc: int;
+  mh_init();
+  top(3, acc);
+}
+|}
+
+let test_chain_capture_restores_distinct_procs () =
+  let prepared =
+    (Support.prepare chain_source [ Support.point "deepest" "R" ]).I
+      .prepared_program
+  in
+  let sio = Support.script_io () in
+  let m = Machine.create ~io:sio.Support.io prepared in
+  Machine.run ~max_steps:100_000 m;
+  Alcotest.(check (list string)) "stack before capture"
+    [ "deepest"; "middle"; "top"; "main" ]
+    (Machine.stack_procs m);
+  Machine.deliver_signal m;
+  Machine.set_ready m;
+  Machine.run ~max_steps:100_000 m;
+  let image = List.hd sio.Support.divulged in
+  Alcotest.(check int) "four records" 4 (Dr_state.Image.depth image);
+  let clone = restore_and_observe prepared image in
+  Alcotest.(check (list string)) "stack rebuilt across three procedures"
+    [ "deepest"; "middle"; "top"; "main" ]
+    (Machine.stack_procs clone);
+  (* locals recomputed state is irrelevant: values were restored, so the
+     clone's deepest frame still adds x*100 = (3*2+7)*100 = 1300/tick *)
+  Machine.set_ready clone;
+  Machine.run ~max_steps:10_000 clone;
+  match Machine.read_local clone "local_c" with
+  | Some (Value.Vint 1300) -> ()
+  | v ->
+    Alcotest.failf "local_c wrong after restore: %s"
+      (match v with Some v -> Value.to_string v | None -> "missing")
+
+(* ------------------------------------ signal during restoration *)
+
+let test_signal_during_restore_is_safe () =
+  (* the clone installs its handler only when restoration completes
+     (Fig. 4): a signal arriving mid-restore is ignored rather than
+     corrupting the rebuild *)
+  let prepared =
+    (Support.prepare chain_source [ Support.point "deepest" "R" ]).I
+      .prepared_program
+  in
+  let sio = Support.script_io () in
+  let m = Machine.create ~io:sio.Support.io prepared in
+  Machine.run ~max_steps:100_000 m;
+  Machine.deliver_signal m;
+  Machine.set_ready m;
+  Machine.run ~max_steps:100_000 m;
+  let image = List.hd sio.Support.divulged in
+  let sio2 = Support.script_io () in
+  let clone = Machine.create ~status_attr:"clone" ~io:sio2.Support.io prepared in
+  Machine.feed_image clone image;
+  (* deliver the signal after a handful of restore instructions *)
+  Machine.run ~max_steps:5 clone;
+  Machine.deliver_signal clone;
+  Machine.run ~max_steps:100_000 clone;
+  (match Machine.status clone with
+  | Machine.Sleeping _ -> ()
+  | s -> Alcotest.failf "clone harmed by mid-restore signal: %a" Machine.pp_status s);
+  Alcotest.(check int) "stack intact" 4 (Machine.stack_depth clone);
+  (* after restoration the handler is live: a new signal captures *)
+  Machine.deliver_signal clone;
+  Machine.set_ready clone;
+  Machine.run ~max_steps:100_000 clone;
+  Alcotest.(check int) "second capture works" 1 (List.length sio2.Support.divulged)
+
+(* --------------------------------------------- randomised chaos *)
+
+let test_pipeline_chaos () =
+  (* repeatedly migrate/replace random pipeline stages while the stream
+     flows; the sink must still see the exact expected sequence *)
+  let system = Dr_workloads.Pipeline.load () in
+  let bus = Dr_workloads.Pipeline.start system in
+  let prng = Dr_sim.Prng.create ~seed:2026 in
+  let stage_of = Hashtbl.create 4 in
+  Hashtbl.replace stage_of "scale" "scale";
+  Hashtbl.replace stage_of "offset" "offset";
+  let generation = ref 0 in
+  for _round = 1 to 6 do
+    Bus.run_while bus ~max_events:2_000_000 (fun () ->
+        List.length (Dr_workloads.Pipeline.sink_values bus)
+        < (!generation + 1) * 3);
+    let key = if Dr_sim.Prng.bool prng then "scale" else "offset" in
+    let current = Hashtbl.find stage_of key in
+    incr generation;
+    let fresh = Printf.sprintf "%s_g%d" key !generation in
+    let host =
+      List.nth [ "hostA"; "hostB"; "hostC" ] (Dr_sim.Prng.int prng 3)
+    in
+    (match
+       Dynrecon.System.migrate bus ~instance:current ~new_instance:fresh
+         ~new_host:host
+     with
+    | Ok _ -> Hashtbl.replace stage_of key fresh
+    | Error e -> Alcotest.failf "round %d: migrate %s: %s" !generation current e)
+  done;
+  Bus.run_while bus ~max_events:3_000_000 (fun () ->
+      List.length (Dr_workloads.Pipeline.sink_values bus) < 24);
+  let values = Dr_workloads.Pipeline.sink_values bus in
+  Alcotest.(check (list int)) "stream exact through 6 random migrations"
+    (Dr_workloads.Pipeline.expected_prefix (List.length values))
+    values
+
+let test_monitor_rapid_sequential_migrations () =
+  let system = Dr_workloads.Monitor.load () in
+  let bus = Dr_workloads.Monitor.start system in
+  let current = ref "compute" in
+  for g = 1 to 5 do
+    Bus.run ~until:(Bus.now bus +. 15.0) bus;
+    let fresh = Printf.sprintf "compute_g%d" g in
+    let host = List.nth [ "hostA"; "hostB"; "hostC" ] (g mod 3) in
+    (match
+       Dynrecon.System.migrate bus ~instance:!current ~new_instance:fresh
+         ~new_host:host
+     with
+    | Ok _ -> current := fresh
+    | Error e -> Alcotest.failf "migration %d: %s" g e)
+  done;
+  Bus.run ~until:(Bus.now bus +. 30.0) bus;
+  let avgs =
+    List.filter_map Dr_workloads.Monitor.parse_displayed
+      (Bus.outputs bus ~instance:"display")
+  in
+  Alcotest.(check bool) "still producing" true (List.length avgs >= 5);
+  Alcotest.(check bool) "all correct through five generations" true
+    (Dr_workloads.Monitor.averages_plausible ~n:4 (List.map snd avgs))
+
+let test_concurrent_reconfigurations () =
+  (* two scripts in flight at once: migrate compute (participating)
+     while sensor is swapped statelessly; both complete and the app
+     keeps producing *)
+  let system = Dr_workloads.Monitor.load () in
+  let bus = Dr_workloads.Monitor.start system in
+  Bus.run ~until:15.0 bus;
+  let migrate_result = ref None in
+  Dr_reconfig.Script.migrate bus ~instance:"compute" ~new_instance:"c2"
+    ~new_host:"hostB"
+    ~on_done:(fun r -> migrate_result := Some r)
+    ();
+  (* stateless replace completes synchronously while the migration is
+     still waiting for compute's reconfiguration point *)
+  (match
+     Dr_reconfig.Script.replace_stateless bus ~instance:"sensor"
+       ~new_instance:"sensor2" ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "stateless: %s" e);
+  Alcotest.(check bool) "migration still pending" true (!migrate_result = None);
+  Bus.run_while bus ~max_events:2_000_000 (fun () -> !migrate_result = None);
+  (match !migrate_result with
+  | Some (Ok "c2") -> ()
+  | Some (Ok other) -> Alcotest.failf "unexpected %s" other
+  | Some (Error e) -> Alcotest.failf "migrate: %s" e
+  | None -> Alcotest.fail "migration never completed");
+  Bus.run ~until:(Bus.now bus +. 40.0) bus;
+  let avgs =
+    List.filter_map Dr_workloads.Monitor.parse_displayed
+      (Bus.outputs bus ~instance:"display")
+  in
+  Alcotest.(check bool) "application healthy after both" true
+    (List.length avgs >= 3);
+  Alcotest.(check (list string)) "final instances"
+    [ "display"; "sensor2"; "c2" ]
+    (Bus.instances bus)
+
+let () =
+  Alcotest.run "scenarios"
+    [ ( "multiple points",
+        [ Alcotest.test_case "both points capture" `Quick
+            test_two_points_both_capture;
+          Alcotest.test_case "restore from each" `Quick test_two_points_restore_each ] );
+      ( "call chains",
+        [ Alcotest.test_case "three-procedure chain" `Quick
+            test_chain_capture_restores_distinct_procs ] );
+      ( "signals",
+        [ Alcotest.test_case "mid-restore signal safe" `Quick
+            test_signal_during_restore_is_safe ] );
+      ( "chaos",
+        [ Alcotest.test_case "pipeline random migrations" `Quick
+            test_pipeline_chaos;
+          Alcotest.test_case "monitor rapid migrations" `Quick
+            test_monitor_rapid_sequential_migrations;
+          Alcotest.test_case "concurrent reconfigurations" `Quick
+            test_concurrent_reconfigurations ] ) ]

@@ -1,0 +1,75 @@
+module Value = Dr_state.Value
+module Arch = Dr_state.Arch
+
+let test_value_equal () =
+  Alcotest.(check bool) "ints" true (Value.equal (Vint 3) (Vint 3));
+  Alcotest.(check bool) "ints differ" false (Value.equal (Vint 3) (Vint 4));
+  Alcotest.(check bool) "cross kind" false (Value.equal (Vint 0) (Vfloat 0.0));
+  Alcotest.(check bool) "nan equals nan" true
+    (Value.equal (Vfloat Float.nan) (Vfloat Float.nan));
+  Alcotest.(check bool) "ptr" true (Value.equal (Vptr (1, 2)) (Vptr (1, 2)));
+  Alcotest.(check bool) "ptr offset" false (Value.equal (Vptr (1, 2)) (Vptr (1, 3)));
+  Alcotest.(check bool) "null" true (Value.equal Vnull Vnull)
+
+let test_value_pp () =
+  let shows v expected = Alcotest.(check string) expected expected (Value.to_string v) in
+  shows (Value.Vint 42) "42";
+  shows (Value.Vbool true) "true";
+  shows (Value.Vstr "hi") "\"hi\"";
+  shows (Value.Varr 3) "<arr #3>";
+  shows (Value.Vptr (3, 1)) "<ptr #3+1>";
+  shows Value.Vnull "null"
+
+let test_value_defaults_and_types () =
+  let module A = Dr_lang.Ast in
+  List.iter
+    (fun (ty, expected) ->
+      Alcotest.(check bool) "default inhabits type" true
+        (Value.matches_ty (Value.default_of_ty ty) ty);
+      Alcotest.(check bool) "expected default" true
+        (Value.equal (Value.default_of_ty ty) expected))
+    [ (A.Tint, Value.Vint 0); (A.Tfloat, Vfloat 0.0); (A.Tbool, Vbool false);
+      (A.Tstr, Vstr ""); (A.Tarr A.Tint, Vnull); (A.Tptr A.Tfloat, Vnull) ];
+  Alcotest.(check bool) "null inhabits arrays" true
+    (Value.matches_ty Value.Vnull (A.Tarr A.Tint));
+  Alcotest.(check bool) "int does not inhabit float" false
+    (Value.matches_ty (Value.Vint 1) A.Tfloat);
+  Alcotest.(check bool) "arr inhabits arr" true
+    (Value.matches_ty (Value.Varr 0) (A.Tarr A.Tstr))
+
+let test_arch_lookup () =
+  Alcotest.(check bool) "x86_64 found" true (Arch.by_name "x86_64" <> None);
+  Alcotest.(check bool) "unknown" true (Arch.by_name "pdp11" = None);
+  Alcotest.(check int) "four architectures" 4 (List.length Arch.all);
+  Alcotest.(check bool) "names unique" true
+    (let names = List.map (fun a -> a.Arch.arch_name) Arch.all in
+     List.length (List.sort_uniq String.compare names) = List.length names)
+
+let test_arch_int_fits () =
+  Alcotest.(check bool) "small fits 32" true (Arch.int_fits Arch.sparc32 1000);
+  Alcotest.(check bool) "max int32 fits" true
+    (Arch.int_fits Arch.arm32 (Int32.to_int Int32.max_int));
+  Alcotest.(check bool) "min int32 fits" true
+    (Arch.int_fits Arch.arm32 (Int32.to_int Int32.min_int));
+  Alcotest.(check bool) "overflow rejected" false
+    (Arch.int_fits Arch.sparc32 (Int32.to_int Int32.max_int + 1));
+  Alcotest.(check bool) "underflow rejected" false
+    (Arch.int_fits Arch.sparc32 (Int32.to_int Int32.min_int - 1));
+  Alcotest.(check bool) "64-bit takes anything" true
+    (Arch.int_fits Arch.m68k max_int)
+
+let test_arch_pp () =
+  Alcotest.(check string) "rendering" "sparc32 (big-endian, 32-bit)"
+    (Fmt.str "%a" Arch.pp Arch.sparc32)
+
+let () =
+  Alcotest.run "state"
+    [ ( "values",
+        [ Alcotest.test_case "equality" `Quick test_value_equal;
+          Alcotest.test_case "printing" `Quick test_value_pp;
+          Alcotest.test_case "defaults and types" `Quick
+            test_value_defaults_and_types ] );
+      ( "architectures",
+        [ Alcotest.test_case "lookup" `Quick test_arch_lookup;
+          Alcotest.test_case "word fits" `Quick test_arch_int_fits;
+          Alcotest.test_case "printing" `Quick test_arch_pp ] ) ]
