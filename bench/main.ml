@@ -9,9 +9,15 @@
    table/figure, timing the core operation behind each experiment on the
    real OCaml runtime.
 
-   Run with: dune exec bench/main.exe            (everything)
-             dune exec bench/main.exe -- tables  (virtual-time tables only)
-             dune exec bench/main.exe -- micro   (wall-clock only) *)
+   Part 3 (Scaling) drives an N-member ring workload for a fixed event
+   budget at N = 10/100/1000 instances and reports wall-clock
+   deliveries/sec — the bus hot-path scaling experiment of
+   EXPERIMENTS.md.
+
+   Run with: dune exec bench/main.exe             (tables + micro)
+             dune exec bench/main.exe -- tables   (virtual-time tables only)
+             dune exec bench/main.exe -- micro    (wall-clock only)
+             dune exec bench/main.exe -- scaling  (bus scaling suite) *)
 
 open Bechamel
 open Toolkit
@@ -260,4 +266,5 @@ let run_micro () =
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if what = "tables" || what = "all" then Tables.all ();
-  if what = "micro" || what = "all" then run_micro ()
+  if what = "micro" || what = "all" then run_micro ();
+  if what = "scaling" then Scaling.all ()

@@ -1,0 +1,47 @@
+(* Bus scaling suite: an N-member token ring driven for a fixed event
+   budget, measuring wall-clock deliveries/sec plus deploy time. Run
+   with: dune exec bench/main.exe -- scaling *)
+
+module Bus = Dr_bus.Bus
+module Ring = Dr_workloads.Ring
+
+type row = {
+  sc_n : int;
+  sc_deploy_ms : float;
+  sc_events : int;
+  sc_deliveries : int;
+  sc_rate : float;  (* deliveries per wall-clock second *)
+}
+
+let run_one ~n ~events =
+  let system = Ring.load_large ~n in
+  let t0 = Unix.gettimeofday () in
+  let bus = Ring.start_large system ~n ~tokens:(max 1 (n / 10)) in
+  let t1 = Unix.gettimeofday () in
+  Bus.run ~max_events:events bus;
+  let t2 = Unix.gettimeofday () in
+  let deliveries =
+    List.fold_left
+      (fun acc m -> acc + max 0 (Ring.passes bus ~instance:m))
+      0 (Ring.members ~n)
+  in
+  { sc_n = n;
+    sc_deploy_ms = (t1 -. t0) *. 1e3;
+    sc_events = events;
+    sc_deliveries = deliveries;
+    sc_rate = float_of_int deliveries /. (t2 -. t1) }
+
+let all ?(sizes = [ 10; 100; 1000 ]) ?(events = 200_000) () =
+  print_newline ();
+  print_endline "==============================================================";
+  print_endline "Bus scaling: N-member ring, fixed event budget";
+  print_endline "==============================================================";
+  Printf.printf "%8s %12s %10s %12s %16s\n" "N" "deploy(ms)" "events"
+    "deliveries" "deliveries/sec";
+  Printf.printf "%s\n" (String.make 62 '-');
+  List.iter
+    (fun n ->
+      let r = run_one ~n ~events in
+      Printf.printf "%8d %12.1f %10d %12d %16.0f\n" r.sc_n r.sc_deploy_ms
+        r.sc_events r.sc_deliveries r.sc_rate)
+    sizes

@@ -25,6 +25,9 @@ type process = {
   p_spec : Dr_mil.Spec.module_spec option;
   p_machine : Machine.t;
   p_queues : (string, Value.t Queue.t) Hashtbl.t;
+  (* memo of the last queue handed out: a machine polls/reads the same
+     interface repeatedly, so io_query/io_read skip the hash lookup *)
+  mutable p_last_queue : (string * Value.t Queue.t) option;
   mutable p_outputs : string list;  (* reverse order *)
   mutable p_divulged : Image.t list;  (* queue of divulged images *)
   mutable p_on_divulge : (Image.t -> unit) option;
@@ -34,6 +37,12 @@ type process = {
   mutable p_ended : float option;
 }
 
+(* Hot-path data structures: [live] indexes the current process per
+   instance name and [route_index] the out-routes per source endpoint,
+   so deliver/route_message are O(1) in the instance and route counts.
+   [procs_rev] and [routes_rev] keep full insertion-order history
+   (newest first) for roster/outputs/all_routes, whose observable order
+   must match the original list-based implementation exactly. *)
 type t = {
   engine : Engine.t;
   trace : Trace.t;
@@ -42,8 +51,10 @@ type t = {
   programs :
     (string, Dr_lang.Ast.program * (string, Dr_interp.Ir.proc_code) Hashtbl.t)
     Hashtbl.t;
-  mutable procs : process list;
-  mutable routes : (endpoint * endpoint) list;
+  mutable procs_rev : process list;
+  live : (string, process) Hashtbl.t;
+  mutable routes_rev : (endpoint * endpoint) list;
+  route_index : (endpoint, endpoint list) Hashtbl.t;
 }
 
 let create ?(params = default_params) ~hosts () =
@@ -52,8 +63,10 @@ let create ?(params = default_params) ~hosts () =
     bus_params = params;
     bus_hosts = hosts;
     programs = Hashtbl.create 8;
-    procs = [];
-    routes = [] }
+    procs_rev = [];
+    live = Hashtbl.create 64;
+    routes_rev = [];
+    route_index = Hashtbl.create 64 }
 
 let engine t = t.engine
 let trace t = t.trace
@@ -69,10 +82,10 @@ let record t category fmt =
     (fun detail -> Trace.record t.trace ~time:(now t) ~category ~detail)
     fmt
 
-let find_proc t instance =
-  List.find_opt
-    (fun p -> p.p_alive && String.equal p.p_instance instance)
-    t.procs
+(* invariant: [t.live] holds exactly the processes with [p_alive];
+   [kill] removes its entry, so halted/crashed machines stay findable
+   (they are alive-but-stopped, as before). *)
+let find_proc t instance = Hashtbl.find_opt t.live instance
 
 (* ------------------------------------------------------------ programs *)
 
@@ -147,44 +160,55 @@ let wake_endpoint t p iface =
 
 let endpoint_equal (a1, a2) (b1, b2) = String.equal a1 b1 && String.equal a2 b2
 
+(* per-source index buckets are kept in insertion order, so
+   [routes_from] returns destinations exactly as the flat-list filter
+   did — message fan-out order (and thus the trace) is unchanged *)
+let index_bucket t src =
+  Option.value ~default:[] (Hashtbl.find_opt t.route_index src)
+
 let add_route t ~src ~dst =
-  if
-    not
-      (List.exists
-         (fun (s, d) -> endpoint_equal s src && endpoint_equal d dst)
-         t.routes)
-  then begin
-    t.routes <- t.routes @ [ (src, dst) ];
+  let bucket = index_bucket t src in
+  if not (List.exists (endpoint_equal dst) bucket) then begin
+    Hashtbl.replace t.route_index src (bucket @ [ dst ]);
+    t.routes_rev <- (src, dst) :: t.routes_rev;
     record t "bind" "add %s.%s -> %s.%s" (fst src) (snd src) (fst dst) (snd dst)
   end
 
 let del_route t ~src ~dst =
-  t.routes <-
+  (match List.filter (fun d -> not (endpoint_equal d dst)) (index_bucket t src) with
+  | [] -> Hashtbl.remove t.route_index src
+  | bucket -> Hashtbl.replace t.route_index src bucket);
+  t.routes_rev <-
     List.filter
       (fun (s, d) -> not (endpoint_equal s src && endpoint_equal d dst))
-      t.routes;
+      t.routes_rev;
   record t "bind" "del %s.%s -> %s.%s" (fst src) (snd src) (fst dst) (snd dst)
 
-let routes_from t src =
-  List.filter_map
-    (fun (s, d) -> if endpoint_equal s src then Some d else None)
-    t.routes
+let routes_from t src = index_bucket t src
 
 let routes_to t dst =
-  List.filter_map
-    (fun (s, d) -> if endpoint_equal d dst then Some s else None)
-    t.routes
+  List.rev
+    (List.filter_map
+       (fun (s, d) -> if endpoint_equal d dst then Some s else None)
+       t.routes_rev)
 
-let all_routes t = t.routes
+let all_routes t = List.rev t.routes_rev
 
 (* -------------------------------------------------------------- queues *)
 
 let queue_of p iface =
-  match Hashtbl.find_opt p.p_queues iface with
-  | Some q -> q
-  | None ->
-    let q = Queue.create () in
-    Hashtbl.replace p.p_queues iface q;
+  match p.p_last_queue with
+  | Some (cached, q) when String.equal cached iface -> q
+  | _ ->
+    let q =
+      match Hashtbl.find_opt p.p_queues iface with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace p.p_queues iface q;
+        q
+    in
+    p.p_last_queue <- Some (iface, q);
     q
 
 let pending_messages t (instance, iface) =
@@ -208,8 +232,12 @@ let copy_queue t ~src ~dst =
   | Some sp ->
     let q = queue_of sp (snd src) in
     let moved = Queue.length q in
-    Queue.iter (fun v -> deliver t ~dst v) q;
+    (* drain first: when [dst] is (or routes back into) [src], delivery
+       appends to the very queue being copied, and iterating it while
+       appending is unspecified *)
+    let values = List.of_seq (Queue.to_seq q) in
     Queue.clear q;
+    List.iter (fun v -> deliver t ~dst v) values;
     record t "queue" "cq %s.%s -> %s.%s (%d message(s))" (fst src) (snd src)
       (fst dst) (snd dst) moved
 
@@ -236,12 +264,21 @@ let drop_queue t ep =
 (* If the destination died while the message was in flight (it was
    replaced by a reconfiguration), re-resolve the current routes: the
    paper's bus applies rebinding commands atomically, so traffic follows
-   the new bindings. *)
-let deliver_or_redirect t ~src ~dst value =
+   the new bindings. Only the routes added since the send — the
+   rebinding of the lost message's destination — receive it: re-fanning
+   out to every current route would hand a duplicate to each surviving
+   peer of a multicast binding. [peers] is the full destination set at
+   send time. *)
+let deliver_or_redirect t ~src ~dst ~peers value =
   match find_proc t (fst dst) with
   | Some _ -> deliver t ~dst value
   | None -> (
-    match routes_from t src with
+    let rebound =
+      List.filter
+        (fun d -> not (List.exists (endpoint_equal d) peers))
+        (routes_from t src)
+    in
+    match rebound with
     | [] -> record t "drop" "in-flight message from %s.%s lost" (fst src) (snd src)
     | dsts -> List.iter (fun dst -> deliver t ~dst value) dsts)
 
@@ -260,7 +297,7 @@ let route_message t p iface value =
         in
         let delay = latency t p.p_host dst_host in
         Engine.schedule t.engine ~delay (fun () ->
-            deliver_or_redirect t ~src ~dst value))
+            deliver_or_redirect t ~src ~dst ~peers:dsts value))
       dsts
 
 (* -------------------------------------------------------------- spawn *)
@@ -321,6 +358,7 @@ let spawn t ~instance ~module_name ~host ?spec ?(status = "normal") () =
             p_spec = spec;
             p_machine = machine;
             p_queues = Hashtbl.create 8;
+            p_last_queue = None;
             p_outputs = [];
             p_divulged = [];
             p_on_divulge = None;
@@ -330,7 +368,8 @@ let spawn t ~instance ~module_name ~host ?spec ?(status = "normal") () =
             p_ended = None }
         in
         p_ref := Some p;
-        t.procs <- t.procs @ [ p ];
+        t.procs_rev <- p :: t.procs_rev;
+        Hashtbl.replace t.live instance p;
         record t "lifecycle" "%s (%s) started on %s as %s" instance module_name
           h.host_name status;
         schedule_quantum t p ~delay:0.0;
@@ -356,6 +395,7 @@ let spawn_snapshot t ~of_instance ~instance ~host =
             p_spec = source.p_spec;
             p_machine = machine;
             p_queues = Hashtbl.create 8;
+            p_last_queue = None;
             p_outputs = [];
             p_divulged = [];
             p_on_divulge = None;
@@ -365,7 +405,8 @@ let spawn_snapshot t ~of_instance ~instance ~host =
             p_ended = None }
         in
         p_ref := Some p;
-        t.procs <- t.procs @ [ p ];
+        t.procs_rev <- p :: t.procs_rev;
+        Hashtbl.replace t.live instance p;
         record t "lifecycle" "%s snapshot-cloned as %s on %s" of_instance
           instance h.host_name;
         (* re-arm scheduling for whatever state the snapshot was in *)
@@ -388,7 +429,21 @@ let kill t ~instance =
   | Some p ->
     p.p_alive <- false;
     p.p_ended <- Some (now t);
-    record t "lifecycle" "%s removed" instance
+    Hashtbl.remove t.live instance;
+    record t "lifecycle" "%s removed" instance;
+    (* a divulge callback armed on a dead instance can never fire; keep
+       it from lingering on the dead record *)
+    if Option.is_some p.p_on_divulge then begin
+      p.p_on_divulge <- None;
+      record t "state" "%s removed with a pending divulge callback; cancelled"
+        instance
+    end;
+    let dropped =
+      Hashtbl.fold (fun _ q acc -> acc + Queue.length q) p.p_queues 0
+    in
+    if dropped > 0 then
+      record t "queue" "%s removed with %d undelivered message(s)" instance
+        dropped
 
 type roster_entry = {
   r_instance : string;
@@ -401,7 +456,7 @@ type roster_entry = {
 }
 
 let roster t =
-  List.map
+  List.rev_map
     (fun p ->
       { r_instance = p.p_instance;
         r_module = p.p_module;
@@ -410,10 +465,13 @@ let roster t =
         r_started = p.p_started;
         r_ended = p.p_ended;
         r_instrs = Machine.instr_count p.p_machine })
-    t.procs
+    t.procs_rev
 
 let instances t =
-  List.filter_map (fun p -> if p.p_alive then Some p.p_instance else None) t.procs
+  List.rev
+    (List.filter_map
+       (fun p -> if p.p_alive then Some p.p_instance else None)
+       t.procs_rev)
 
 let instance_host t ~instance =
   Option.map (fun p -> p.p_host.host_name) (find_proc t instance)
@@ -432,16 +490,16 @@ let process_status t ~instance =
 let outputs t ~instance =
   (* history stays readable after an instance is removed; when a name was
      reused (replication restarts the original in place), prefer the live
-     incarnation, then the most recent dead one *)
-  let matching =
-    List.filter (fun p -> String.equal p.p_instance instance) t.procs
-  in
-  match List.find_opt (fun p -> p.p_alive) matching with
+     incarnation, then the most recent dead one — [procs_rev] is
+     newest-first, so the first dead match is the most recent *)
+  match find_proc t instance with
   | Some p -> List.rev p.p_outputs
   | None -> (
-    match List.rev matching with
-    | p :: _ -> List.rev p.p_outputs
-    | [] -> [])
+    match
+      List.find_opt (fun p -> String.equal p.p_instance instance) t.procs_rev
+    with
+    | Some p -> List.rev p.p_outputs
+    | None -> [])
 
 let wake t ~instance =
   match find_proc t instance with
@@ -459,7 +517,8 @@ let signal_reconfig t ~instance =
 
 let on_divulge t ~instance callback =
   match find_proc t instance with
-  | None -> ()
+  | None ->
+    record t "state" "divulge callback for dead instance %s discarded" instance
   | Some p -> (
     match p.p_divulged with
     | image :: rest ->
@@ -479,7 +538,8 @@ let take_divulged t ~instance =
 
 let deposit_state t ~instance image =
   match find_proc t instance with
-  | None -> ()
+  | None ->
+    record t "state" "state image for dead instance %s discarded" instance
   | Some p ->
     record t "state" "state image deposited into %s" instance;
     Machine.feed_image p.p_machine image;

@@ -142,15 +142,15 @@ let start t ~app ~hosts ?params ?default_host () =
   Ok bus
 
 let migrate bus ~instance ~new_instance ~new_host =
-  Dr_reconfig.Script.run_sync bus (fun ~on_done ->
+  Dr_reconfig.Script.run_sync bus ~watch:instance (fun ~on_done ->
       Dr_reconfig.Script.migrate bus ~instance ~new_instance ~new_host ~on_done ())
 
 let replace bus ~instance ~new_instance ?new_module ?new_host () =
-  Dr_reconfig.Script.run_sync bus (fun ~on_done ->
+  Dr_reconfig.Script.run_sync bus ~watch:instance (fun ~on_done ->
       Dr_reconfig.Script.replace bus ~instance ~new_instance ?new_module
         ?new_host ~on_done ())
 
 let replicate bus ~instance ~replica_instance ?replica_host () =
-  Dr_reconfig.Script.run_sync bus (fun ~on_done ->
+  Dr_reconfig.Script.run_sync bus ~watch:instance (fun ~on_done ->
       Dr_reconfig.Script.replicate bus ~instance ~replica_instance ?replica_host
         ~on_done ())

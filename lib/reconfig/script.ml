@@ -182,10 +182,38 @@ let remove_module bus ~instance =
     (Dr_bus.Bus.all_routes bus);
   Dr_bus.Bus.kill bus ~instance
 
-let run_sync bus ?(max_events = 1_000_000) script =
+let run_sync bus ?(max_events = 1_000_000) ?watch script =
   let result = ref None in
   script ~on_done:(fun r -> result := Some r);
-  Dr_bus.Bus.run_while bus ~max_events (fun () -> Option.is_none !result);
+  (* a watched instance that crashes, halts or disappears before the
+     script completes can never comply with the reconfiguration signal;
+     fail fast instead of spinning the event budget on the other
+     processes' events *)
+  let module Machine = Dr_interp.Machine in
+  let doomed () =
+    match watch with
+    | None -> false
+    | Some instance -> (
+      match Dr_bus.Bus.process_status bus ~instance with
+      | Some (Machine.Crashed _) | Some Machine.Halted | None -> true
+      | Some _ -> false)
+  in
+  Dr_bus.Bus.run_while bus ~max_events (fun () ->
+      Option.is_none !result && not (doomed ()));
   match !result with
   | Some r -> r
-  | None -> Error "reconfiguration script did not complete"
+  | None -> (
+    match watch with
+    | Some instance when doomed () ->
+      Error
+        (match Dr_bus.Bus.process_status bus ~instance with
+        | Some (Machine.Crashed message) ->
+          Printf.sprintf "%s crashed before the reconfiguration completed: %s"
+            instance message
+        | Some Machine.Halted ->
+          Printf.sprintf "%s halted before the reconfiguration completed"
+            instance
+        | _ ->
+          Printf.sprintf "%s was removed before the reconfiguration completed"
+            instance)
+    | _ -> Error "reconfiguration script did not complete")

@@ -87,7 +87,11 @@ val remove_module : Dr_bus.Bus.t -> instance:string -> unit
 val run_sync :
   Dr_bus.Bus.t ->
   ?max_events:int ->
+  ?watch:string ->
   (on_done:(outcome -> unit) -> unit) ->
   outcome
 (** Launch a script and run the bus until it completes (or the event
-    budget is exhausted). *)
+    budget is exhausted). [watch] names the instance whose compliance
+    the script waits on: if it crashes, halts or is removed before the
+    script completes, [run_sync] fails fast with a descriptive error
+    instead of burning the event budget on other processes' events. *)

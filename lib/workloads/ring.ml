@@ -90,6 +90,63 @@ let start ?params system =
     bus
   | Error e -> failwith ("ring: start failed: " ^ e)
 
+(* ------------------------------------------------------- large rings *)
+
+(* A generated N-member ring (no tap) for the bench scaling suite: the
+   same member module, instances m0..m(n-1) alternating across hosts,
+   each bound to its successor. *)
+let large_mil ~n =
+  let buf = Buffer.create (256 + (n * 64)) in
+  Buffer.add_string buf
+    {|module member {
+  source = "./member.exe";
+  use interface in pattern {integer};
+  define interface out pattern {integer};
+  reconfiguration point R;
+}
+
+application ring {
+|};
+  for i = 0 to n - 1 do
+    let host = if i mod 2 = 0 then "hostA" else "hostB" in
+    Buffer.add_string buf (Printf.sprintf "  instance m%d = member on %S;\n" i host)
+  done;
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  bind \"m%d out\" \"m%d in\";\n" i ((i + 1) mod n))
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let member_name i = Printf.sprintf "m%d" i
+
+let members ~n = List.init n member_name
+
+let load_large ~n =
+  match
+    Dynrecon.System.load ~mil:(large_mil ~n)
+      ~sources:[ ("member", member_source) ]
+      ()
+  with
+  | Ok system -> system
+  | Error e -> failwith ("ring: large load failed: " ^ e)
+
+let start_large ?params ?(tokens = 1) system ~n =
+  match
+    Dynrecon.System.start system ~app:"ring" ~hosts ?params ~default_host:"hostA"
+      ()
+  with
+  | Ok bus ->
+    let tokens = max 1 (min tokens n) in
+    let stride = n / tokens in
+    for k = 0 to tokens - 1 do
+      Bus.inject bus
+        ~dst:(member_name (k * stride), "in")
+        (Dr_state.Value.Vint (k * 1_000_000))
+    done;
+    bus
+  | Error e -> failwith ("ring: large start failed: " ^ e)
+
 let passes bus ~instance =
   match Bus.machine bus ~instance with
   | Some m -> (

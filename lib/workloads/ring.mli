@@ -19,6 +19,23 @@ val start : ?params:Dr_bus.Bus.params -> Dynrecon.System.t -> Dr_bus.Bus.t
 (** Deploys the 3-member ring a → b → c → a and injects the initial
     token (value 0) into [a]. *)
 
+val large_mil : n:int -> string
+(** MIL text for a generated [n]-member ring (instances [m0..m(n-1)]
+    alternating across hosts, no tap) — the bench scaling workload. *)
+
+val member_name : int -> string
+
+val members : n:int -> string list
+
+val load_large : n:int -> Dynrecon.System.t
+
+val start_large :
+  ?params:Dr_bus.Bus.params -> ?tokens:int -> Dynrecon.System.t -> n:int ->
+  Dr_bus.Bus.t
+(** Deploy the [n]-member ring and inject [tokens] (default 1) tokens at
+    evenly spaced members, so up to [tokens] deliveries are in flight at
+    once. *)
+
 val passes : Dr_bus.Bus.t -> instance:string -> int
 (** The member's pass counter (-1 if the instance is gone). *)
 

@@ -1,0 +1,38 @@
+(* Reference scenarios whose full trace output is pinned byte-for-byte
+   against golden files recorded from the seed (list-based) bus. The
+   indexed bus must reproduce them exactly: same events, same order,
+   same virtual times. Regenerate with:
+     dune exec test/gen_goldens.exe -- test   (from the repo root) *)
+
+module Bus = Dr_bus.Bus
+
+let dump bus = Fmt.str "%a" Dr_sim.Trace.dump (Bus.trace bus)
+
+(* The paper's monitor application: run, migrate compute to the
+   big-endian host mid-execution, keep running. *)
+let monitor_trace () =
+  let system = Dr_workloads.Monitor.load () in
+  let bus = Dr_workloads.Monitor.start system in
+  Bus.run ~until:12.0 bus;
+  (match
+     Dynrecon.System.migrate bus ~instance:"compute" ~new_instance:"c2"
+       ~new_host:"hostB"
+   with
+  | Ok _ -> ()
+  | Error e -> failwith ("golden monitor: migrate: " ^ e));
+  Bus.run ~until:40.0 bus;
+  dump bus
+
+(* The evolving token ring: run, splice a member in, keep running. *)
+let ring_trace () =
+  let system = Dr_workloads.Ring.load () in
+  let bus = Dr_workloads.Ring.start system in
+  Bus.run ~until:30.0 bus;
+  (match
+     Dr_workloads.Ring.insert_member bus ~instance:"d" ~host:"hostC" ~after:"c"
+       ~before:"a"
+   with
+  | Ok () -> ()
+  | Error e -> failwith ("golden ring: insert: " ^ e));
+  Bus.run ~until:60.0 bus;
+  dump bus

@@ -135,6 +135,21 @@ let test_queue_operations () =
   Bus.drop_queue bus ("c2", "spare");
   Alcotest.(check int) "dropped" 0 (Bus.pending_messages bus ("c2", "spare"))
 
+let test_copy_queue_to_self () =
+  (* regression: copying a queue onto itself used to iterate over the
+     queue while appending to it, which never terminates *)
+  let bus = make_bus () in
+  register bus consumer;
+  spawn bus ~instance:"c1" ~module_name:"consumer" ~host:"hostA";
+  Bus.run bus;
+  Bus.inject bus ~dst:("c1", "spare") (Value.Vint 1);
+  Bus.inject bus ~dst:("c1", "spare") (Value.Vint 2);
+  Bus.copy_queue bus ~src:("c1", "spare") ~dst:("c1", "spare");
+  Alcotest.(check int) "still two pending" 2
+    (Bus.pending_messages bus ("c1", "spare"));
+  Alcotest.(check bool) "order preserved" true
+    (Bus.take_queue bus ("c1", "spare") = [ Value.Vint 1; Value.Vint 2 ])
+
 let test_blocking_read_wakes () =
   let bus = make_bus () in
   register bus consumer;
@@ -165,6 +180,65 @@ let test_kill_and_redirect () =
   Bus.run bus;
   Alcotest.(check int) "in-flight messages redirected to the new binding" 5
     (List.length (Bus.outputs bus ~instance:"new"))
+
+let test_redirect_no_multicast_duplicates () =
+  (* regression: a lost in-flight message used to be re-fanned-out to
+     every current route of its source, so on a multicast binding the
+     surviving destinations received it a second time *)
+  let bus = make_bus () in
+  register bus producer;
+  register bus consumer;
+  spawn bus ~instance:"p" ~module_name:"producer" ~host:"hostA";
+  spawn bus ~instance:"d1" ~module_name:"consumer" ~host:"hostB";
+  spawn bus ~instance:"d2" ~module_name:"consumer" ~host:"hostB";
+  Bus.add_route bus ~src:("p", "out") ~dst:("d1", "in");
+  Bus.add_route bus ~src:("p", "out") ~dst:("d2", "in");
+  Bus.run_while bus (fun () ->
+      Bus.process_status bus ~instance:"p" <> Some Machine.Halted);
+  (* messages are in flight to both; rebind d1's half to a fresh
+     instance and kill d1 *)
+  spawn bus ~instance:"d1n" ~module_name:"consumer" ~host:"hostB";
+  Bus.del_route bus ~src:("p", "out") ~dst:("d1", "in");
+  Bus.add_route bus ~src:("p", "out") ~dst:("d1n", "in");
+  Bus.kill bus ~instance:"d1";
+  Bus.run bus;
+  Alcotest.(check int) "redirected to the rebinding only" 5
+    (List.length (Bus.outputs bus ~instance:"d1n"));
+  Alcotest.(check int) "surviving destination got no duplicates" 5
+    (List.length (Bus.outputs bus ~instance:"d2"))
+
+let trace_details bus ~category =
+  List.map
+    (fun (e : Dr_sim.Trace.entry) -> e.detail)
+    (Dr_sim.Trace.by_category (Bus.trace bus) category)
+
+let test_kill_accounting () =
+  let bus = make_bus () in
+  register bus consumer;
+  spawn bus ~instance:"c" ~module_name:"consumer" ~host:"hostA";
+  Bus.run bus;
+  Bus.inject bus ~dst:("c", "spare") (Value.Vint 1);
+  Bus.inject bus ~dst:("c", "spare") (Value.Vint 2);
+  Bus.inject bus ~dst:("c", "other") (Value.Vint 3);
+  Bus.on_divulge bus ~instance:"c" (fun _ ->
+      Alcotest.fail "cancelled callback must not fire");
+  Bus.kill bus ~instance:"c";
+  Alcotest.(check bool) "pending divulge callback cancellation traced" true
+    (List.mem "c removed with a pending divulge callback; cancelled"
+       (trace_details bus ~category:"state"));
+  Alcotest.(check bool) "undelivered messages counted" true
+    (List.mem "c removed with 3 undelivered message(s)"
+       (trace_details bus ~category:"queue"));
+  (* late reconfiguration traffic aimed at the dead instance must leave
+     an audit trail rather than silently no-op *)
+  Bus.on_divulge bus ~instance:"c" (fun _ -> ());
+  Bus.deposit_state bus ~instance:"c"
+    (Dr_state.Image.empty ~source_module:"consumer");
+  let state = trace_details bus ~category:"state" in
+  Alcotest.(check bool) "late on_divulge traced" true
+    (List.mem "divulge callback for dead instance c discarded" state);
+  Alcotest.(check bool) "late deposit_state traced" true
+    (List.mem "state image for dead instance c discarded" state)
 
 let test_spawn_errors () =
   let bus = make_bus () in
@@ -324,12 +398,16 @@ let () =
       ( "routes and queues",
         [ Alcotest.test_case "add/del routes" `Quick test_routes_add_del;
           Alcotest.test_case "queue ops" `Quick test_queue_operations;
-          Alcotest.test_case "kill and redirect" `Quick test_kill_and_redirect ] );
+          Alcotest.test_case "copy queue to itself" `Quick test_copy_queue_to_self;
+          Alcotest.test_case "kill and redirect" `Quick test_kill_and_redirect;
+          Alcotest.test_case "redirect without multicast duplicates" `Quick
+            test_redirect_no_multicast_duplicates ] );
       ( "lifecycle",
         [ Alcotest.test_case "spawn errors" `Quick test_spawn_errors;
           Alcotest.test_case "register rejects ill-typed" `Quick
             test_register_rejects_ill_typed;
-          Alcotest.test_case "crash traced" `Quick test_crash_is_traced ] );
+          Alcotest.test_case "crash traced" `Quick test_crash_is_traced;
+          Alcotest.test_case "kill accounting" `Quick test_kill_accounting ] );
       ( "timing",
         [ Alcotest.test_case "instr cost" `Quick test_instr_cost_advances_clock;
           Alcotest.test_case "deterministic" `Quick test_deterministic_runs ] );

@@ -354,6 +354,65 @@ let test_thaw_rejects_corrupt_bytes () =
        contains "corrupt" e)
   | Ok () -> Alcotest.fail "corrupt bytes accepted"
 
+(* Fail-fast guards: a crashed or halted target can never comply with a
+   reconfiguration signal, so [Freeze.freeze] and [Script.run_sync
+   ~watch] must report that instead of spinning the event budget on
+   bystander processes (the busy module below never stops). *)
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let doomed_bus () =
+  let bus = Bus.create ~hosts:Dr_workloads.Monitor.hosts () in
+  let register source =
+    match Bus.register_program bus (Support.parse source) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "register: %s" e
+  in
+  register "module crashy;\nproc main() { mh_init(); sleep(2); print(1 / 0); }";
+  register "module busy;\nproc main() { mh_init(); while (true) { sleep(1); } }";
+  register "module quit;\nproc main() { mh_init(); }";
+  let spawn instance =
+    match Bus.spawn bus ~instance ~module_name:instance ~host:"hostA" () with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "spawn: %s" e
+  in
+  spawn "crashy";
+  spawn "busy";
+  spawn "quit";
+  bus
+
+let test_freeze_fails_fast_on_crash () =
+  let bus = doomed_bus () in
+  match Dr_reconfig.Freeze.freeze bus ~instance:"crashy" () with
+  | Ok _ -> Alcotest.fail "froze a crashed instance"
+  | Error e ->
+    Alcotest.(check bool) "reports the crash" true (contains "crashed" e);
+    (* fail fast: busy must not get to burn the event budget *)
+    Alcotest.(check bool) "stopped promptly" true (Bus.now bus < 1000.0)
+
+let test_freeze_fails_fast_on_halt () =
+  let bus = doomed_bus () in
+  Bus.run_while bus ~max_events:100_000 (fun () ->
+      Bus.process_status bus ~instance:"quit" <> Some Machine.Halted);
+  match Dr_reconfig.Freeze.freeze bus ~instance:"quit" () with
+  | Ok _ -> Alcotest.fail "froze a halted instance"
+  | Error e -> Alcotest.(check bool) "reports the halt" true (contains "halted" e)
+
+let test_run_sync_watch_fails_fast () =
+  let bus = doomed_bus () in
+  let result =
+    Script.run_sync bus ~watch:"crashy" (fun ~on_done ->
+        Script.replace bus ~instance:"crashy" ~new_instance:"crashy2" ~on_done ())
+  in
+  match result with
+  | Ok _ -> Alcotest.fail "replacement of a crashing instance succeeded"
+  | Error e ->
+    Alcotest.(check bool) "reports the crash" true (contains "crashed" e);
+    Alcotest.(check bool) "stopped promptly" true (Bus.now bus < 1000.0)
+
 let test_script_trace_order () =
   (* Fig. 5 event order: script starts -> signal -> divulge -> rebind ->
      clone starts -> old removed *)
@@ -410,4 +469,10 @@ let () =
           Alcotest.test_case "script trace order" `Quick test_script_trace_order ] );
       ( "freeze/thaw",
         [ Alcotest.test_case "cold restart" `Quick test_freeze_thaw_cold_restart;
-          Alcotest.test_case "corrupt bytes" `Quick test_thaw_rejects_corrupt_bytes ] ) ]
+          Alcotest.test_case "corrupt bytes" `Quick test_thaw_rejects_corrupt_bytes ] );
+      ( "fail fast",
+        [ Alcotest.test_case "freeze on crash" `Quick
+            test_freeze_fails_fast_on_crash;
+          Alcotest.test_case "freeze on halt" `Quick test_freeze_fails_fast_on_halt;
+          Alcotest.test_case "run_sync watch" `Quick
+            test_run_sync_watch_fails_fast ] ) ]

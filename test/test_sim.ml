@@ -86,6 +86,49 @@ let prop_pqueue_sorts =
       let times = drain [] in
       List.sort compare times = times)
 
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:1.0 ~seq:0 "a";
+  Pqueue.push q ~time:2.0 ~seq:1 "b";
+  Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Pqueue.push q ~time:3.0 ~seq:2 "c";
+  Alcotest.(check bool) "usable after clear" true
+    (match Pqueue.pop q with Some (_, _, "c") -> true | _ -> false)
+
+let test_pqueue_releases_popped () =
+  (* regression: popped entries used to linger in the heap array's spare
+     slots, retaining their payloads (event closures) indefinitely *)
+  let q = Pqueue.create () in
+  let w = Weak.create 2 in
+  let fill () =
+    for i = 0 to 9 do
+      let payload = ref i in
+      if i = 0 then Weak.set w 0 (Some payload);
+      if i = 9 then Weak.set w 1 (Some payload);
+      Pqueue.push q ~time:(float_of_int i) ~seq:i payload
+    done
+  in
+  fill ();
+  for _ = 1 to 10 do ignore (Pqueue.pop q) done;
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payloads not retained by the heap array" true
+    (Weak.get w 0 = None && Weak.get w 1 = None)
+
+let test_pqueue_clear_releases () =
+  let q = Pqueue.create () in
+  let w = Weak.create 1 in
+  let fill () =
+    let payload = ref 0 in
+    Weak.set w 0 (Some payload);
+    Pqueue.push q ~time:1.0 ~seq:0 payload
+  in
+  fill ();
+  Pqueue.clear q;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payloads not retained" true (Weak.get w 0 = None)
+
 let test_engine_runs_in_order () =
   let e = Engine.create () in
   let log = ref [] in
@@ -165,6 +208,11 @@ let () =
         [ Alcotest.test_case "orders by time" `Quick test_pqueue_orders_by_time;
           Alcotest.test_case "ties by seq" `Quick test_pqueue_ties_by_seq;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          Alcotest.test_case "pop releases payloads" `Quick
+            test_pqueue_releases_popped;
+          Alcotest.test_case "clear releases payloads" `Quick
+            test_pqueue_clear_releases;
           prop_pqueue_sorts ] );
       ( "engine",
         [ Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
