@@ -1,0 +1,134 @@
+(* Chaos suite: reconfiguration under injected faults.
+
+   Each trial deploys the token ring, installs a seeded fault plan
+   (uniform message loss, optionally a host crash in the middle of the
+   replacement window), lets the ring run, then performs a transactional
+   [replace] of member [c] with a deadline and one retry. A trial is
+   {e consistent} when either the replacement completed (the clone is
+   live and every route endpoint resolves to an instance) or it rolled
+   back and the route set and instance roster equal the pre-script
+   snapshot. Run with: dune exec bench/main.exe -- chaos *)
+
+module Bus = Dr_bus.Bus
+module Faults = Dr_bus.Faults
+module Script = Dr_reconfig.Script
+module Ring = Dr_workloads.Ring
+
+type scenario = {
+  sc_name : string;
+  sc_loss : float;
+  sc_host_crash : (string * float) option;
+  sc_recover : float option;
+}
+
+type tally = {
+  mutable ok : int;  (* replacement completed *)
+  mutable rolled_back : int;  (* failed but restored the old config *)
+  mutable inconsistent : int;  (* failed AND left the config damaged *)
+  mutable latency_sum : float;  (* virtual time, completed trials only *)
+}
+
+let snapshot bus =
+  let routes =
+    List.sort compare
+      (List.map
+         (fun ((src, dst) : Bus.endpoint * Bus.endpoint) ->
+           (fst src, snd src, fst dst, snd dst))
+         (Bus.all_routes bus))
+  in
+  let roster = List.sort String.compare (Bus.instances bus) in
+  (routes, roster)
+
+let fully_routed bus =
+  let live = Bus.instances bus in
+  List.for_all
+    (fun ((src, dst) : Bus.endpoint * Bus.endpoint) ->
+      List.mem (fst src) live && List.mem (fst dst) live)
+    (Bus.all_routes bus)
+
+let run_trial scenario ~seed =
+  let system = Ring.load () in
+  let plan =
+    Ring.chaos_plan ~loss:scenario.sc_loss ?host_crash:scenario.sc_host_crash
+      ?host_recover:scenario.sc_recover ()
+  in
+  let bus = Ring.start_chaos ~seed ~plan system in
+  Bus.run ~until:8.0 bus;
+  let before = snapshot bus in
+  let started = Bus.now bus in
+  let outcome =
+    Script.run_sync bus (fun ~on_done ->
+        Script.replace bus ~instance:"c" ~new_instance:"c2" ~deadline:25.0
+          ~retry:{ Script.attempts = 2; backoff = 5.0; alt_hosts = [ "hostA" ] }
+          ~on_done ())
+  in
+  let latency = Bus.now bus -. started in
+  match outcome with
+  | Ok _ -> (`Ok latency, bus)
+  | Error _ ->
+    if snapshot bus = before then (`Rolled_back, bus)
+    else (`Inconsistent, bus)
+
+let run_scenario ?(trials = 40) scenario =
+  let t = { ok = 0; rolled_back = 0; inconsistent = 0; latency_sum = 0.0 } in
+  for seed = 1 to trials do
+    let verdict, bus = run_trial scenario ~seed in
+    (match verdict with
+    | `Ok latency ->
+      t.ok <- t.ok + 1;
+      t.latency_sum <- t.latency_sum +. latency
+    | `Rolled_back -> t.rolled_back <- t.rolled_back + 1
+    | `Inconsistent -> t.inconsistent <- t.inconsistent + 1);
+    (* a completed replacement must also leave the graph fully routed *)
+    if not (fully_routed bus) then begin
+      t.inconsistent <- t.inconsistent + 1;
+      Printf.printf "  !! seed %d left a dangling route\n" seed
+    end
+  done;
+  t
+
+let scenarios =
+  [ { sc_name = "fault-free"; sc_loss = 0.0; sc_host_crash = None;
+      sc_recover = None };
+    { sc_name = "loss 2%"; sc_loss = 0.02; sc_host_crash = None;
+      sc_recover = None };
+    { sc_name = "loss 5%"; sc_loss = 0.05; sc_host_crash = None;
+      sc_recover = None };
+    { sc_name = "loss 10%"; sc_loss = 0.10; sc_host_crash = None;
+      sc_recover = None };
+    { sc_name = "loss 5% + hostB crash"; sc_loss = 0.05;
+      sc_host_crash = Some ("hostB", 8.5); sc_recover = None };
+    { sc_name = "loss 5% + crash/recover"; sc_loss = 0.05;
+      sc_host_crash = Some ("hostB", 8.5); sc_recover = Some 12.0 } ]
+
+let all ?(trials = 40) () =
+  print_newline ();
+  print_endline "==============================================================";
+  print_endline "Chaos: transactional replace under injected faults";
+  print_endline
+    (Printf.sprintf
+       "%d seeded trials per scenario; replace c -> c2, deadline 25, 1 retry"
+       trials);
+  print_endline "==============================================================";
+  Printf.printf "%-24s %6s %9s %13s %11s %13s\n" "scenario" "ok" "rollback"
+    "inconsistent" "consistent" "mean latency";
+  Printf.printf "%s\n" (String.make 80 '-');
+  let worst = ref 1.0 in
+  List.iter
+    (fun scenario ->
+      let t = run_scenario ~trials scenario in
+      let consistent =
+        float_of_int (t.ok + t.rolled_back) /. float_of_int trials
+      in
+      worst := Float.min !worst consistent;
+      let mean_latency =
+        if t.ok = 0 then "-"
+        else Printf.sprintf "%10.2f vt" (t.latency_sum /. float_of_int t.ok)
+      in
+      Printf.printf "%-24s %6d %9d %13d %10.0f%% %13s\n" scenario.sc_name t.ok
+        t.rolled_back t.inconsistent (100.0 *. consistent) mean_latency)
+    scenarios;
+  Printf.printf "%s\n" (String.make 80 '-');
+  Printf.printf "worst-case consistency: %.0f%% (threshold 95%%)\n"
+    (100.0 *. !worst);
+  if !worst < 0.95 then exit 1

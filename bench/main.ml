@@ -14,10 +14,15 @@
    deliveries/sec — the bus hot-path scaling experiment of
    EXPERIMENTS.md.
 
+   Part 4 (Chaos) measures reconfiguration success rate and completion
+   latency under seeded fault injection (message loss, host crashes) —
+   the transactional-rollback experiment of EXPERIMENTS.md.
+
    Run with: dune exec bench/main.exe             (tables + micro)
              dune exec bench/main.exe -- tables   (virtual-time tables only)
              dune exec bench/main.exe -- micro    (wall-clock only)
-             dune exec bench/main.exe -- scaling  (bus scaling suite) *)
+             dune exec bench/main.exe -- scaling  (bus scaling suite)
+             dune exec bench/main.exe -- chaos    (fault-injection suite) *)
 
 open Bechamel
 open Toolkit
@@ -267,4 +272,5 @@ let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if what = "tables" || what = "all" then Tables.all ();
   if what = "micro" || what = "all" then run_micro ();
-  if what = "scaling" then Scaling.all ()
+  if what = "scaling" then Scaling.all ();
+  if what = "chaos" then Chaos.all ()

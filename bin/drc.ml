@@ -244,6 +244,16 @@ let migrate_arg =
 
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the bus trace.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Seeded fault-injection plan: comma-separated clauses seed=N, \
+           loss=P, dup=P (optionally scoped loss@SRC>DST=P with * wildcards), \
+           jitter=J, crash=HOST@T, recover=HOST@T, kill=INSTANCE@T.")
+
 let timeline_arg =
   Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII timeline of the run.")
 
@@ -259,7 +269,7 @@ let parse_hosts specs =
     specs
 
 let run_cmd =
-  let run mil srcs app until hosts migrate trace timeline =
+  let run mil srcs app until hosts migrate faults trace timeline =
     let system = match load_system mil srcs with Ok s -> s | Error e -> or_die (Error e) in
     let hosts = parse_hosts hosts in
     let bus =
@@ -267,6 +277,12 @@ let run_cmd =
       | Ok bus -> bus
       | Error e -> or_die (Error e)
     in
+    (match faults with
+    | None -> ()
+    | Some spec -> (
+      match Dr_bus.Faults.parse_plan spec with
+      | Ok (seed, plan) -> Dr_bus.Faults.install bus ~seed plan
+      | Error e -> or_die (Error e)));
     (match migrate with
     | None -> Dr_bus.Bus.run ~until bus
     | Some spec -> (
@@ -291,7 +307,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Deploy an application and simulate it.")
     Term.(
       const run $ mil_arg $ srcs_arg $ app_arg $ until_arg $ hosts_arg
-      $ migrate_arg $ trace_arg $ timeline_arg)
+      $ migrate_arg $ faults_arg $ trace_arg $ timeline_arg)
 
 let inspect_cmd =
   let run file =
@@ -329,7 +345,7 @@ let inspect_cmd =
 (* ----------------------------------------------------------------- exec *)
 
 let exec_cmd =
-  let run file max_steps trace =
+  let run file max_steps faults trace =
     let program = or_die (parse_program_file file) in
     (match Dr_lang.Typecheck.check program with
     | Ok () -> ()
@@ -338,13 +354,29 @@ let exec_cmd =
         (fun e -> Fmt.epr "error: %a@." Dr_lang.Typecheck.pp_error e)
         errors;
       exit 1);
+    let crash_at =
+      match faults with
+      | None -> None
+      | Some spec -> (
+        match Scanf.sscanf_opt spec "kill@%d" (fun n -> n) with
+        | Some n when n > 0 -> Some n
+        | _ ->
+          or_die (Error (Printf.sprintf "bad --faults %S: expected kill@N" spec)))
+    in
     let io = Dr_interp.Io_intf.null ~print:print_endline () in
     let machine = Dr_interp.Machine.create ~io program in
-    if trace then
+    let executed = ref 0 in
+    if trace || Option.is_some crash_at then
       Dr_interp.Machine.set_tracer machine
         (Some
            (fun proc pc instr ->
-             Fmt.epr "[trace] %-12s %4d  %a@." proc pc Dr_interp.Ir.pp_instr instr));
+             incr executed;
+             (match crash_at with
+             | Some n when !executed = n ->
+               Dr_interp.Machine.force_crash machine "injected crash"
+             | _ -> ());
+             if trace then
+               Fmt.epr "[trace] %-12s %4d  %a@." proc pc Dr_interp.Ir.pp_instr instr));
     Dr_interp.Machine.run ~max_steps machine;
     Fmt.pr "[%a after %d instruction(s)]@."
       Dr_interp.Machine.pp_status
@@ -359,9 +391,16 @@ let exec_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print each executed instruction.")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"kill@N"
+          ~doc:"Inject a crash after N executed instructions.")
+  in
   Cmd.v
     (Cmd.info "exec" ~doc:"Run a single module standalone (no bus).")
-    Term.(const run $ file_arg $ max_steps $ trace)
+    Term.(const run $ file_arg $ max_steps $ faults $ trace)
 
 let () =
   let info =

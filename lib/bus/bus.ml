@@ -43,6 +43,17 @@ type process = {
    [procs_rev] and [routes_rev] keep full insertion-order history
    (newest first) for roster/outputs/all_routes, whose observable order
    must match the original list-based implementation exactly. *)
+(* The fault plane (see Faults): when installed, every message send
+   consults [fh_message] (drop / duplicate / deliver) and [fh_jitter]
+   (extra latency). With no hooks installed the bus behaves — and
+   traces — exactly as before, which the golden-trace tests pin down. *)
+type fault_decision = Deliver | Drop | Duplicate
+
+type fault_hooks = {
+  fh_message : src:endpoint -> dst:endpoint -> fault_decision;
+  fh_jitter : unit -> float;
+}
+
 type t = {
   engine : Engine.t;
   trace : Trace.t;
@@ -55,6 +66,8 @@ type t = {
   live : (string, process) Hashtbl.t;
   mutable routes_rev : (endpoint * endpoint) list;
   route_index : (endpoint, endpoint list) Hashtbl.t;
+  mutable fault_hooks : fault_hooks option;
+  down_hosts : (string, unit) Hashtbl.t;
 }
 
 let create ?(params = default_params) ~hosts () =
@@ -66,7 +79,9 @@ let create ?(params = default_params) ~hosts () =
     procs_rev = [];
     live = Hashtbl.create 64;
     routes_rev = [];
-    route_index = Hashtbl.create 64 }
+    route_index = Hashtbl.create 64;
+    fault_hooks = None;
+    down_hosts = Hashtbl.create 4 }
 
 let engine t = t.engine
 let trace t = t.trace
@@ -86,6 +101,52 @@ let record t category fmt =
    [kill] removes its entry, so halted/crashed machines stay findable
    (they are alive-but-stopped, as before). *)
 let find_proc t instance = Hashtbl.find_opt t.live instance
+
+(* --------------------------------------------------------------- faults *)
+
+let set_fault_hooks t hooks = t.fault_hooks <- Some hooks
+let clear_fault_hooks t = t.fault_hooks <- None
+
+let host_is_down t name = Hashtbl.mem t.down_hosts name
+
+let crash_process t ~instance ~reason =
+  match find_proc t instance with
+  | None -> record t "audit" "crash injection ignored: no instance %s" instance
+  | Some p -> (
+    match Machine.status p.p_machine with
+    | Machine.Halted | Machine.Crashed _ -> ()
+    | _ ->
+      Machine.force_crash p.p_machine reason;
+      record t "crash" "%s crashed: %s" p.p_instance reason)
+
+let crash_host t ~host =
+  if host_is_down t host then
+    record t "audit" "host crash ignored: %s already down" host
+  else begin
+    Hashtbl.replace t.down_hosts host ();
+    record t "fault" "host %s crashed" host;
+    List.iter
+      (fun p ->
+        if p.p_alive && String.equal p.p_host.host_name host then begin
+          crash_process t ~instance:p.p_instance
+            ~reason:(Printf.sprintf "host %s crashed" host);
+          let dropped =
+            Hashtbl.fold (fun _ q acc -> acc + Queue.length q) p.p_queues 0
+          in
+          Hashtbl.iter (fun _ q -> Queue.clear q) p.p_queues;
+          if dropped > 0 then
+            record t "queue" "%s lost %d queued message(s) in host crash"
+              p.p_instance dropped
+        end)
+      (List.rev t.procs_rev)
+  end
+
+let recover_host t ~host =
+  if host_is_down t host then begin
+    Hashtbl.remove t.down_hosts host;
+    record t "fault" "host %s recovered" host
+  end
+  else record t "audit" "host recovery ignored: %s is up" host
 
 (* ------------------------------------------------------------ programs *)
 
@@ -123,7 +184,15 @@ let rec schedule_quantum t p ~delay =
 
 and run_quantum t p =
   p.p_scheduled <- false;
-  if p.p_alive then begin
+  (* a quantum scheduled before the machine stopped (e.g. an injected
+     crash between scheduling and firing) must not re-record the halt or
+     crash that was already traced when the status changed *)
+  let already_stopped =
+    match Machine.status p.p_machine with
+    | Machine.Halted | Machine.Crashed _ -> true
+    | _ -> false
+  in
+  if p.p_alive && not already_stopped then begin
     let before = Machine.instr_count p.p_machine in
     let budget = t.bus_params.quantum in
     let steps = ref 0 in
@@ -221,8 +290,13 @@ let deliver t ~dst value =
   match find_proc t instance with
   | None -> record t "drop" "message for dead instance %s.%s" instance iface
   | Some p ->
-    Queue.add value (queue_of p iface);
-    wake_endpoint t p iface
+    if host_is_down t p.p_host.host_name then
+      record t "fault" "delivery to %s.%s failed: host %s is down" instance
+        iface p.p_host.host_name
+    else begin
+      Queue.add value (queue_of p iface);
+      wake_endpoint t p iface
+    end
 
 let inject t ~dst value = deliver t ~dst value
 
@@ -249,6 +323,11 @@ let take_queue t ep =
     let values = List.of_seq (Queue.to_seq q) in
     Queue.clear q;
     values
+
+let peek_queue t ep =
+  match find_proc t (fst ep) with
+  | None -> []
+  | Some p -> List.of_seq (Queue.to_seq (queue_of p (snd ep)))
 
 let drop_queue t ep =
   match find_proc t (fst ep) with
@@ -296,8 +375,24 @@ let route_message t p iface value =
           | None -> p.p_host
         in
         let delay = latency t p.p_host dst_host in
-        Engine.schedule t.engine ~delay (fun () ->
-            deliver_or_redirect t ~src ~dst ~peers:dsts value))
+        let send ~delay =
+          Engine.schedule t.engine ~delay (fun () ->
+              deliver_or_redirect t ~src ~dst ~peers:dsts value)
+        in
+        match t.fault_hooks with
+        | None -> send ~delay
+        | Some hooks -> (
+          let delay = delay +. hooks.fh_jitter () in
+          match hooks.fh_message ~src ~dst with
+          | Deliver -> send ~delay
+          | Drop ->
+            record t "fault" "injected loss: %s.%s -> %s.%s" (fst src)
+              (snd src) (fst dst) (snd dst)
+          | Duplicate ->
+            record t "fault" "injected duplicate: %s.%s -> %s.%s" (fst src)
+              (snd src) (fst dst) (snd dst);
+            send ~delay;
+            send ~delay))
       dsts
 
 (* -------------------------------------------------------------- spawn *)
@@ -344,6 +439,8 @@ let spawn t ~instance ~module_name ~host ?spec ?(status = "normal") () =
   | None -> (
     match find_host t host with
     | None -> Error (Printf.sprintf "unknown host %s" host)
+    | Some _ when host_is_down t host ->
+      Error (Printf.sprintf "host %s is down" host)
     | Some h -> (
       match Hashtbl.find_opt t.programs module_name with
       | None -> Error (Printf.sprintf "module %s is not registered" module_name)
@@ -384,6 +481,8 @@ let spawn_snapshot t ~of_instance ~instance ~host =
     | Some source -> (
       match find_host t host with
       | None -> Error (Printf.sprintf "unknown host %s" host)
+      | Some _ when host_is_down t host ->
+        Error (Printf.sprintf "host %s is down" host)
       | Some h ->
         let p_ref = ref None in
         let io = instance_io t p_ref in
@@ -425,7 +524,7 @@ let spawn_snapshot t ~of_instance ~instance ~host =
 
 let kill t ~instance =
   match find_proc t instance with
-  | None -> ()
+  | None -> record t "audit" "kill ignored: no instance %s" instance
   | Some p ->
     p.p_alive <- false;
     p.p_ended <- Some (now t);
@@ -503,10 +602,16 @@ let outputs t ~instance =
 
 let wake t ~instance =
   match find_proc t instance with
-  | None -> ()
-  | Some p ->
-    Machine.set_ready p.p_machine;
-    schedule_quantum t p ~delay:0.0
+  | None -> record t "audit" "wake ignored: no instance %s" instance
+  | Some p -> (
+    match Machine.status p.p_machine with
+    | Machine.Halted | Machine.Crashed _ ->
+      (* set_ready is a no-op on a stopped machine; scheduling a quantum
+         for it would be too — make the mismatch auditable instead *)
+      record t "audit" "wake ignored: %s already stopped" instance
+    | _ ->
+      Machine.set_ready p.p_machine;
+      schedule_quantum t p ~delay:0.0)
 
 let signal_reconfig t ~instance =
   match find_proc t instance with
@@ -525,6 +630,15 @@ let on_divulge t ~instance callback =
       p.p_divulged <- rest;
       callback image
     | [] -> p.p_on_divulge <- Some callback)
+
+let cancel_divulge t ~instance =
+  match find_proc t instance with
+  | None -> record t "audit" "divulge cancel ignored: no instance %s" instance
+  | Some p ->
+    if Option.is_some p.p_on_divulge then begin
+      p.p_on_divulge <- None;
+      record t "state" "divulge callback for %s cancelled" instance
+    end
 
 let take_divulged t ~instance =
   match find_proc t instance with

@@ -61,7 +61,8 @@ val spawn :
 
 val kill : t -> instance:string -> unit
 (** Remove a process: it stops running, its routes remain until deleted
-    explicitly (reconfiguration scripts delete them). *)
+    explicitly (reconfiguration scripts delete them). Idempotent: killing
+    an already-removed instance records an audit trace entry. *)
 
 val spawn_snapshot :
   t ->
@@ -108,7 +109,44 @@ val roster : t -> roster_entry list
     ones. Used by reporting and the benchmarks. *)
 
 val wake : t -> instance:string -> unit
-(** Force a blocked/sleeping machine ready and reschedule it. *)
+(** Force a blocked/sleeping machine ready and reschedule it. Safe on a
+    removed or stopped instance: records an audit trace entry instead. *)
+
+(** {1 Fault plane}
+
+    Installed by {!Faults} from a declarative plan; every injection is
+    driven by the seeded PRNG and emits a ["fault"] trace entry, so runs
+    stay deterministic and replayable from the seed. With no hooks
+    installed the bus is byte-for-byte identical to the fault-free
+    implementation (pinned by the golden-trace tests). *)
+
+type fault_decision = Deliver | Drop | Duplicate
+
+type fault_hooks = {
+  fh_message : src:endpoint -> dst:endpoint -> fault_decision;
+      (** consulted once per (source, destination) pair of every send *)
+  fh_jitter : unit -> float;  (** extra latency added to each hop *)
+}
+
+val set_fault_hooks : t -> fault_hooks -> unit
+
+val clear_fault_hooks : t -> unit
+
+val host_is_down : t -> string -> bool
+
+val crash_host : t -> host:string -> unit
+(** Mark the host down: every resident instance's machine transitions to
+    [Crashed], its queues are dropped (with audit trace entries), and
+    in-flight deliveries to the host fail until {!recover_host}. *)
+
+val recover_host : t -> host:string -> unit
+(** Mark the host up again. Instances crashed by {!crash_host} stay
+    crashed — restarting them is a supervisor's job
+    ({!Dr_reconfig.Supervisor}). *)
+
+val crash_process : t -> instance:string -> reason:string -> unit
+(** Injected process crash (kill -9): the machine transitions to
+    [Crashed reason]; the instance stays in the roster until killed. *)
 
 (** {1 Routes and queues} *)
 
@@ -137,6 +175,10 @@ val take_queue : t -> endpoint -> Dr_state.Value.t list
 (** Drain and return the pending messages, oldest first (used by scripts
     that must park messages while an instance is swapped). *)
 
+val peek_queue : t -> endpoint -> Dr_state.Value.t list
+(** The pending messages, oldest first, without draining them (used by
+    the reconfiguration journal to snapshot undo state; no trace). *)
+
 val inject : t -> dst:endpoint -> Dr_state.Value.t -> unit
 (** Test/driver helper: place a message directly in a queue. *)
 
@@ -147,6 +189,11 @@ val signal_reconfig : t -> instance:string -> unit
 
 val on_divulge : t -> instance:string -> (Dr_state.Image.t -> unit) -> unit
 (** One-shot callback invoked when the instance runs [mh_encode]. *)
+
+val cancel_divulge : t -> instance:string -> unit
+(** Disarm a pending {!on_divulge} callback (rollback of a script whose
+    deadline expired before the module complied). A later divulge then
+    parks its image for {!take_divulged} instead of invoking anything. *)
 
 val take_divulged : t -> instance:string -> Dr_state.Image.t option
 

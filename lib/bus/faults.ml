@@ -1,0 +1,174 @@
+module Prng = Dr_sim.Prng
+module Engine = Dr_sim.Engine
+
+type event =
+  | Host_crash of string
+  | Host_recover of string
+  | Process_crash of string
+
+type rule = {
+  r_src : string option;
+  r_dst : string option;
+  r_loss : float;
+  r_dup : float;
+}
+
+type plan = {
+  fp_events : (float * event) list;
+  fp_rules : rule list;
+  fp_jitter : float;
+}
+
+let no_faults = { fp_events = []; fp_rules = []; fp_jitter = 0.0 }
+
+let rule ?src ?dst ?(loss = 0.0) ?(dup = 0.0) () =
+  { r_src = src; r_dst = dst; r_loss = loss; r_dup = dup }
+
+let plan ?(events = []) ?(rules = []) ?(jitter = 0.0) () =
+  { fp_events = events; fp_rules = rules; fp_jitter = jitter }
+
+let matches r ~src ~dst =
+  let ok filter name =
+    match filter with None -> true | Some f -> String.equal f name
+  in
+  ok r.r_src (fst src) && ok r.r_dst (fst dst)
+
+let fire bus = function
+  | Host_crash h -> Bus.crash_host bus ~host:h
+  | Host_recover h -> Bus.recover_host bus ~host:h
+  | Process_crash i ->
+    Bus.crash_process bus ~instance:i ~reason:"injected crash"
+
+let install bus ~seed p =
+  List.iter
+    (fun (time, event) ->
+      Engine.schedule_at (Bus.engine bus) ~time (fun () -> fire bus event))
+    p.fp_events;
+  if p.fp_rules = [] && p.fp_jitter = 0.0 then Bus.clear_fault_hooks bus
+  else begin
+    let prng = Prng.create ~seed in
+    let decide ~src ~dst =
+      match List.find_opt (matches ~src ~dst) p.fp_rules with
+      | None -> Bus.Deliver
+      | Some r ->
+        (* one draw per decision, in a fixed order, so the stream of PRNG
+           consumptions — and hence the whole run — replays from the seed *)
+        let u = Prng.float prng 1.0 in
+        if u < r.r_loss then Bus.Drop
+        else if r.r_dup > 0.0 && Prng.float prng 1.0 < r.r_dup then
+          Bus.Duplicate
+        else Bus.Deliver
+    in
+    let jitter () =
+      if p.fp_jitter > 0.0 then Prng.float prng p.fp_jitter else 0.0
+    in
+    Bus.set_fault_hooks bus
+      { Bus.fh_message = (fun ~src ~dst -> decide ~src ~dst);
+        fh_jitter = jitter }
+  end
+
+(* --------------------------------------------------- CLI specification *)
+
+let parse_float_clause what v =
+  match float_of_string_opt v with
+  | Some f when f >= 0.0 -> Ok f
+  | Some _ | None -> Error (Printf.sprintf "bad %s value %S" what v)
+
+let parse_at what v =
+  (* "name@T" *)
+  match String.index_opt v '@' with
+  | None -> Error (Printf.sprintf "bad %s %S: expected name@time" what v)
+  | Some i -> (
+    let name = String.sub v 0 i in
+    let time = String.sub v (i + 1) (String.length v - i - 1) in
+    match float_of_string_opt time with
+    | Some t when name <> "" -> Ok (name, t)
+    | Some _ | None -> Error (Printf.sprintf "bad %s %S: expected name@time" what v))
+
+let parse_scope scope =
+  (* "src>dst" with "*" wildcards *)
+  match String.split_on_char '>' scope with
+  | [ src; dst ] when src <> "" && dst <> "" ->
+    let f s = if String.equal s "*" then None else Some s in
+    Ok (f src, f dst)
+  | _ -> Error (Printf.sprintf "bad scope %S: expected src>dst" scope)
+
+let parse_plan spec =
+  let ( let* ) = Result.bind in
+  let clauses =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' spec)
+  in
+  List.fold_left
+    (fun acc clause ->
+      let* seed, p = acc in
+      let key, value =
+        match String.index_opt clause '=' with
+        | None -> (clause, "")
+        | Some i ->
+          ( String.sub clause 0 i,
+            String.sub clause (i + 1) (String.length clause - i - 1) )
+      in
+      let scoped prefix =
+        (* "loss@src>dst" *)
+        let pl = String.length prefix in
+        if
+          String.length key > pl + 1
+          && String.equal (String.sub key 0 pl) prefix
+          && key.[pl] = '@'
+        then Some (String.sub key (pl + 1) (String.length key - pl - 1))
+        else None
+      in
+      let add_rule src dst loss dup =
+        (* merge clauses with the same scope (loss=…,dup=… is one rule:
+           only the first matching rule is consulted per message) *)
+        let same r = r.r_src = src && r.r_dst = dst in
+        let rules =
+          if List.exists same p.fp_rules then
+            List.map
+              (fun r ->
+                if same r then
+                  { r with
+                    r_loss = Float.max r.r_loss loss;
+                    r_dup = Float.max r.r_dup dup }
+                else r)
+              p.fp_rules
+          else p.fp_rules @ [ rule ?src ?dst ~loss ~dup () ]
+        in
+        Ok (seed, { p with fp_rules = rules })
+      in
+      match key with
+      | "seed" -> (
+        match int_of_string_opt value with
+        | Some s -> Ok (s, p)
+        | None -> Error (Printf.sprintf "bad seed %S" value))
+      | "loss" ->
+        let* f = parse_float_clause "loss" value in
+        add_rule None None f 0.0
+      | "dup" ->
+        let* f = parse_float_clause "dup" value in
+        add_rule None None 0.0 f
+      | "jitter" ->
+        let* f = parse_float_clause "jitter" value in
+        Ok (seed, { p with fp_jitter = f })
+      | "crash" ->
+        let* h, t = parse_at "crash" value in
+        Ok (seed, { p with fp_events = p.fp_events @ [ (t, Host_crash h) ] })
+      | "recover" ->
+        let* h, t = parse_at "recover" value in
+        Ok (seed, { p with fp_events = p.fp_events @ [ (t, Host_recover h) ] })
+      | "kill" ->
+        let* i, t = parse_at "kill" value in
+        Ok (seed, { p with fp_events = p.fp_events @ [ (t, Process_crash i) ] })
+      | _ -> (
+        match scoped "loss", scoped "dup" with
+        | Some scope, _ ->
+          let* src, dst = parse_scope scope in
+          let* f = parse_float_clause "loss" value in
+          add_rule src dst f 0.0
+        | None, Some scope ->
+          let* src, dst = parse_scope scope in
+          let* f = parse_float_clause "dup" value in
+          add_rule src dst 0.0 f
+        | None, None -> Error (Printf.sprintf "unknown fault clause %S" clause)))
+    (Ok (0, no_faults))
+    clauses

@@ -145,10 +145,19 @@ let migrate bus ~instance ~new_instance ~new_host =
   Dr_reconfig.Script.run_sync bus ~watch:instance (fun ~on_done ->
       Dr_reconfig.Script.migrate bus ~instance ~new_instance ~new_host ~on_done ())
 
-let replace bus ~instance ~new_instance ?new_module ?new_host () =
-  Dr_reconfig.Script.run_sync bus ~watch:instance (fun ~on_done ->
+let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline ?retry
+    () =
+  (* with a script-level deadline or retry policy, the script itself
+     handles a non-complying (or crashed) target by rolling back /
+     re-attempting — the fail-fast watch would cut it short *)
+  let watch =
+    match (deadline, retry) with
+    | None, None -> Some instance
+    | _ -> None
+  in
+  Dr_reconfig.Script.run_sync bus ?watch (fun ~on_done ->
       Dr_reconfig.Script.replace bus ~instance ~new_instance ?new_module
-        ?new_host ~on_done ())
+        ?new_host ?deadline ?retry ~on_done ())
 
 let replicate bus ~instance ~replica_instance ?replica_host () =
   Dr_reconfig.Script.run_sync bus ~watch:instance (fun ~on_done ->

@@ -69,8 +69,15 @@ val replace :
   new_instance:string ->
   ?new_module:string ->
   ?new_host:string ->
+  ?deadline:float ->
+  ?retry:Dr_reconfig.Script.retry ->
   unit ->
   (string, string) result
+(** [deadline] and [retry] are forwarded to
+    {!Dr_reconfig.Script.replace}: a bounded signal→divulge window with
+    transactional rollback, and re-attempts with virtual-time backoff.
+    When a deadline or retry policy is given the run is no longer
+    fail-fast on a crashed target — the script's own deadline governs. *)
 
 val replicate :
   Dr_bus.Bus.t ->

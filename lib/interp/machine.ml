@@ -69,6 +69,12 @@ let set_ready t =
 
 let deliver_signal t = t.pending_signal <- true
 
+let force_crash t reason =
+  match t.mstatus with
+  | Halted | Crashed _ -> ()
+  | Ready | Sleeping _ | Blocked_read _ | Blocked_decode ->
+    t.mstatus <- Crashed reason
+
 let read_global t name =
   Option.map (fun cell -> !cell) (Hashtbl.find_opt t.globals name)
 

@@ -50,6 +50,11 @@ val deliver_signal : t -> unit
 (** Mark the reconfiguration signal pending; handled before the next
     instruction if a handler is installed, ignored otherwise. *)
 
+val force_crash : t -> string -> unit
+(** Externally induced failure (fault injection: host crash, kill -9):
+    the machine transitions to [Crashed reason] from any live status.
+    No-op on a machine that already halted or crashed. *)
+
 val signal_handled : t -> bool
 (** Has a signal handler been installed? *)
 

@@ -1,0 +1,201 @@
+module Bus = Dr_bus.Bus
+module Value = Dr_state.Value
+module Image = Dr_state.Image
+
+type entry =
+  | Added_route of Bus.endpoint * Bus.endpoint
+  | Deleted_route of Bus.endpoint * Bus.endpoint
+  | Moved_queue of { mq_src : Bus.endpoint; mq_dst : Bus.endpoint }
+  | Dropped_queue of Bus.endpoint * Value.t list
+  | Spawned of string
+  | Killed of {
+      k_instance : string;
+      k_module : string;
+      k_host : string;
+      k_spec : Dr_mil.Spec.module_spec option;
+      k_image : Image.t option;
+      k_queues : (string * Value.t list) list;
+    }
+  | Armed_divulge of string
+  | Divulged of { d_cap : Primitives.module_cap; d_image : Image.t }
+
+type t = {
+  bus : Bus.t;
+  label : string;
+  mutable entries : entry list;  (* newest first *)
+}
+
+let create bus ~label = { bus; label; entries = [] }
+
+let entry_count t = List.length t.entries
+
+let push t e = t.entries <- e :: t.entries
+
+let record t fmt =
+  Format.kasprintf
+    (fun detail ->
+      Dr_sim.Trace.record (Bus.trace t.bus) ~time:(Bus.now t.bus)
+        ~category:"rollback" ~detail)
+    fmt
+
+(* ----------------------------------------------------------- primitives *)
+
+let add_route t ~src ~dst =
+  Bus.add_route t.bus ~src ~dst;
+  push t (Added_route (src, dst))
+
+let del_route t ~src ~dst =
+  Bus.del_route t.bus ~src ~dst;
+  push t (Deleted_route (src, dst))
+
+let copy_queue t ~src ~dst =
+  Bus.copy_queue t.bus ~src ~dst;
+  push t (Moved_queue { mq_src = src; mq_dst = dst })
+
+let drop_queue t ep =
+  let values = Bus.peek_queue t.bus ep in
+  Bus.drop_queue t.bus ep;
+  push t (Dropped_queue (ep, values))
+
+let spawn t ~instance ~module_name ~host ?spec ?status () =
+  match Bus.spawn t.bus ~instance ~module_name ~host ?spec ?status () with
+  | Error _ as e -> e
+  | Ok () ->
+    push t (Spawned instance);
+    Ok ()
+
+let instance_queues bus ~instance ~ifaces =
+  List.map (fun iface -> (iface, Bus.peek_queue bus (instance, iface))) ifaces
+
+let kill t ~instance ~module_name ~host ?spec ?image () =
+  let ifaces =
+    match Bus.instance_spec t.bus ~instance with
+    | Some s -> List.map (fun i -> i.Dr_mil.Spec.if_name) s.ifaces
+    | None ->
+      List.sort_uniq String.compare
+        (List.map snd
+           (List.filter_map
+              (fun ((src, dst) : Bus.endpoint * Bus.endpoint) ->
+                if String.equal (fst dst) instance then Some dst
+                else if String.equal (fst src) instance then Some src
+                else None)
+              (Bus.all_routes t.bus)))
+  in
+  let k_queues = instance_queues t.bus ~instance ~ifaces in
+  Bus.kill t.bus ~instance;
+  push t
+    (Killed
+       { k_instance = instance;
+         k_module = module_name;
+         k_host = host;
+         k_spec = spec;
+         k_image = image;
+         k_queues })
+
+let arm_divulge t ~instance callback =
+  Bus.on_divulge t.bus ~instance callback;
+  push t (Armed_divulge instance)
+
+let note_divulged t ~cap ~image =
+  push t (Divulged { d_cap = cap; d_image = image })
+
+let rebind t batch =
+  List.iter
+    (fun (command : Primitives.bind_command) ->
+      match command with
+      | Primitives.Add (src, dst) -> add_route t ~src ~dst
+      | Primitives.Del (src, dst) -> del_route t ~src ~dst
+      | Primitives.Copy_queue (src, dst) -> copy_queue t ~src ~dst
+      | Primitives.Remove_queue ep -> drop_queue t ep)
+    (Primitives.batch_commands batch)
+
+(* ----------------------------------------------------------- undo *)
+
+let reinject bus ~instance queues =
+  List.iter
+    (fun (iface, values) ->
+      List.iter (fun v -> Bus.inject bus ~dst:(instance, iface) v) values)
+    queues
+
+let restore_instance t ~restored ~instance ~module_name ~host ?spec ~image
+    ~queues () =
+  match
+    Bus.spawn t.bus ~instance ~module_name ~host ?spec ~status:"clone" ()
+  with
+  | Error e ->
+    record t "FAILED to restore instance %s on %s: %s" instance host e
+  | Ok () ->
+    (match image with
+    | Some image -> Bus.deposit_state t.bus ~instance image
+    | None -> ());
+    reinject t.bus ~instance queues;
+    Hashtbl.replace restored instance ();
+    record t "restored instance %s" instance
+
+let undo t ~restored = function
+  | Added_route (src, dst) ->
+    Bus.del_route t.bus ~src ~dst;
+    record t "removed route %s.%s -> %s.%s" (fst src) (snd src) (fst dst)
+      (snd dst)
+  | Deleted_route (src, dst) ->
+    Bus.add_route t.bus ~src ~dst;
+    record t "restored route %s.%s -> %s.%s" (fst src) (snd src) (fst dst)
+      (snd dst)
+  | Moved_queue { mq_src; mq_dst } ->
+    (* a script moves queues only at its final instant, so at rollback
+       time the destination still holds exactly the moved messages (no
+       engine event has fired in between); hand them back *)
+    let values = Bus.take_queue t.bus mq_dst in
+    List.iter (fun v -> Bus.inject t.bus ~dst:mq_src v) values;
+    record t "returned %d message(s) to %s.%s" (List.length values)
+      (fst mq_src) (snd mq_src)
+  | Dropped_queue (ep, values) ->
+    List.iter (fun v -> Bus.inject t.bus ~dst:ep v) values;
+    record t "refilled %s.%s with %d message(s)" (fst ep) (snd ep)
+      (List.length values)
+  | Spawned instance ->
+    Bus.kill t.bus ~instance;
+    record t "removed half-started instance %s" instance
+  | Killed { k_instance; k_module; k_host; k_spec; k_image; k_queues } ->
+    restore_instance t ~restored ~instance:k_instance ~module_name:k_module
+      ~host:k_host ?spec:k_spec ~image:k_image ~queues:k_queues ()
+  | Armed_divulge instance ->
+    Bus.cancel_divulge t.bus ~instance;
+    record t "disarmed divulge callback for %s" instance
+  | Divulged { d_cap; d_image } ->
+    (* The target complied: it divulged and is halting — it may even
+       still be [Ready], winding down the tail of the quantum that
+       divulged, but its continuation is spent either way. Return it to
+       service with its own image, unless an earlier undo step (a
+       [Killed] entry) already resurrected it. *)
+    let instance = d_cap.Primitives.cap_instance in
+    if Hashtbl.mem restored instance then
+      record t "%s already back in service" instance
+    else if Bus.host_is_down t.bus d_cap.Primitives.cap_host then
+      (* killing the shell and failing the respawn would lose the
+         instance outright; leave it crashed for a supervisor *)
+      record t "cannot restore %s: host %s is down" instance
+        d_cap.Primitives.cap_host
+    else begin
+      let queues =
+        instance_queues t.bus ~instance ~ifaces:d_cap.Primitives.cap_ifaces
+      in
+      if Option.is_some (Bus.process_status t.bus ~instance) then
+        Bus.kill t.bus ~instance;
+      restore_instance t ~restored ~instance
+        ~module_name:d_cap.Primitives.cap_module
+        ~host:d_cap.Primitives.cap_host ?spec:d_cap.Primitives.cap_spec
+        ~image:(Some d_image) ~queues ()
+    end
+
+let rollback t ~reason =
+  match t.entries with
+  | [] -> ()
+  | entries ->
+    t.entries <- [];
+    record t "%s: rolling back %d step(s): %s" t.label (List.length entries)
+      reason;
+    let restored = Hashtbl.create 4 in
+    List.iter (undo t ~restored) entries
+
+let commit t = t.entries <- []

@@ -1,0 +1,83 @@
+(** Transactional journal for reconfiguration scripts.
+
+    Every primitive a script applies to the bus — routes deleted and
+    added, queues moved and dropped, instances spawned and killed,
+    divulge callbacks armed — goes through the journal, which records
+    the undo information before applying the operation. On any mid-script
+    failure (spawn error, state-translation failure, target crash,
+    deadline expiry) {!rollback} undoes the applied prefix in reverse
+    order, restoring the old routes and queues, cancelling armed
+    callbacks, killing a half-started clone, and returning the old
+    instance to service (re-depositing its own image if it already
+    halted after divulging). {!commit} discards the journal silently, so
+    the success path of a script produces exactly the trace it produced
+    before journalling existed (pinned by the golden-trace tests). *)
+
+type t
+
+val create : Dr_bus.Bus.t -> label:string -> t
+(** [label] names the transaction in rollback trace entries. *)
+
+val entry_count : t -> int
+(** Applied-and-not-yet-committed primitives. *)
+
+(** {1 Journalled primitives}
+
+    Each applies the bus operation (producing its usual trace) and
+    records the inverse. *)
+
+val add_route : t -> src:Dr_bus.Bus.endpoint -> dst:Dr_bus.Bus.endpoint -> unit
+
+val del_route : t -> src:Dr_bus.Bus.endpoint -> dst:Dr_bus.Bus.endpoint -> unit
+
+val copy_queue : t -> src:Dr_bus.Bus.endpoint -> dst:Dr_bus.Bus.endpoint -> unit
+
+val drop_queue : t -> Dr_bus.Bus.endpoint -> unit
+
+val spawn :
+  t ->
+  instance:string ->
+  module_name:string ->
+  host:string ->
+  ?spec:Dr_mil.Spec.module_spec ->
+  ?status:string ->
+  unit ->
+  (unit, string) result
+
+val kill :
+  t ->
+  instance:string ->
+  module_name:string ->
+  host:string ->
+  ?spec:Dr_mil.Spec.module_spec ->
+  ?image:Dr_state.Image.t ->
+  unit ->
+  unit
+(** Remove [instance], first snapshotting its queued messages. Undo
+    respawns it (as a clone), re-deposits [image] when given, and
+    re-injects the snapshotted queues. *)
+
+val arm_divulge : t -> instance:string -> (Dr_state.Image.t -> unit) -> unit
+(** {!Dr_bus.Bus.on_divulge} through the journal; undo disarms the
+    callback if it has not fired. *)
+
+val note_divulged :
+  t -> cap:Primitives.module_cap -> image:Dr_state.Image.t -> unit
+(** Record that the target complied: it divulged [image] and is halting.
+    Undo returns it to service — kill the halted shell, respawn it under
+    its own name on its own host, re-deposit [image], and re-inject the
+    messages parked at its interfaces — unless a later journal entry
+    already restored it. *)
+
+val rebind : t -> Primitives.bind_batch -> unit
+(** Apply a rebinding batch through the journal, command by command, in
+    order, at one instant of virtual time (as {!Primitives.rebind}). *)
+
+val commit : t -> unit
+(** Discard the journal: the transaction is complete. Silent — no trace
+    entry — so committed scripts trace exactly as they always did. *)
+
+val rollback : t -> reason:string -> unit
+(** Undo every recorded primitive, newest first. Records a ["rollback"]
+    header plus one ["rollback"] entry per undone primitive. The journal
+    is empty afterwards; rolling back twice is a no-op. *)

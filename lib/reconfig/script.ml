@@ -1,11 +1,16 @@
 module P = Primitives
+module Bus = Dr_bus.Bus
 
 type outcome = (string, string) result
+
+type retry = { attempts : int; backoff : float; alt_hosts : string list }
+
+let no_retry = { attempts = 1; backoff = 0.0; alt_hosts = [] }
 
 let record bus fmt =
   Format.kasprintf
     (fun detail ->
-      Dr_sim.Trace.record (Dr_bus.Bus.trace bus) ~time:(Dr_bus.Bus.now bus)
+      Dr_sim.Trace.record (Bus.trace bus) ~time:(Bus.now bus)
         ~category:"script" ~detail)
     fmt
 
@@ -15,12 +20,12 @@ let record bus fmt =
 let rebind_batch (cap : P.module_cap) ~new_instance =
   let batch = P.bind_cap () in
   List.iter
-    (fun ((src : Dr_bus.Bus.endpoint), dst) ->
+    (fun ((src : Bus.endpoint), dst) ->
       P.edit_bind batch (P.Del (src, dst));
       P.edit_bind batch (P.Add ((new_instance, snd src), dst)))
     cap.cap_out_routes;
   List.iter
-    (fun (src, (dst : Dr_bus.Bus.endpoint)) ->
+    (fun (src, (dst : Bus.endpoint)) ->
       P.edit_bind batch (P.Del (src, dst));
       P.edit_bind batch (P.Add (src, (new_instance, snd dst))))
     cap.cap_in_routes;
@@ -32,49 +37,118 @@ let rebind_batch (cap : P.module_cap) ~new_instance =
     cap.cap_ifaces;
   batch
 
-let replace bus ~instance ~new_instance ?new_module ?new_host ~on_done () =
-  match P.obj_cap bus ~instance with
-  | Error e -> on_done (Error e)
-  | Ok cap0 ->
-    let module_name = Option.value ~default:cap0.cap_module new_module in
-    let host = Option.value ~default:cap0.cap_host new_host in
-    record bus "replace %s: %s on %s -> %s: %s on %s" instance cap0.cap_module
-      cap0.cap_host new_instance module_name host;
-    P.objstate_move bus ~old_instance:instance
-      ~deliver:(fun image ->
-        (* Re-snapshot NOW: other reconfigurations may have rebound the
-           module's interfaces while it was travelling to its
-           reconfiguration point, and the batch must edit the *current*
-           configuration (the paper: obj_cap "corresponds to the current
-           configuration, which could have been changed dynamically"). *)
-        match P.obj_cap bus ~instance with
-        | Error e -> on_done (Error e)
-        | Ok cap -> (
-          match
-            P.translate_image bus ~src_host:cap.cap_host ~dst_host:host image
-          with
-          | Error e ->
-            on_done (Error (Printf.sprintf "state translation failed: %s" e))
-          | Ok image' -> (
-            let batch = rebind_batch cap ~new_instance in
-            (* The old module has complied. Start the new instance first
-               so the batch's queue-copy commands have a live
-               destination, then apply the rebinding commands all at
-               once, deposit the state, and remove the old instance. All
-               of this happens at one instant of virtual time — no
-               quantum runs in between. *)
-            match
-              P.chg_obj_add bus ~instance:new_instance ~module_name ~host
-                ?spec:cap.cap_spec ~status:"clone" ()
-            with
-            | Error e -> on_done (Error e)
-            | Ok () ->
-              P.rebind bus batch;
-              Dr_bus.Bus.deposit_state bus ~instance:new_instance image';
-              P.chg_obj_del bus ~instance;
-              record bus "replace %s -> %s complete" instance new_instance;
-              on_done (Ok new_instance))))
-      ()
+(* Transactional replacement: every primitive goes through a {!Journal};
+   a failure at any point — spawn error, translation error, deadline
+   expiry while the module travels to its reconfiguration point — rolls
+   the journal back, leaving the old configuration fully routed. On the
+   success path the journal commits silently, so the trace is exactly
+   the Fig. 5 sequence it always was. *)
+let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline
+    ?(retry = no_retry) ~on_done () =
+  let rec attempt n ~host_override =
+    let finish outcome =
+      match outcome with
+      | Ok _ -> on_done outcome
+      | Error e when n < retry.attempts ->
+        let next_host =
+          match retry.alt_hosts with
+          | [] -> host_override
+          | hosts -> Some (List.nth hosts ((n - 1) mod List.length hosts))
+        in
+        record bus "replace %s: attempt %d failed (%s); retrying%s in %.1f"
+          instance n e
+          (match next_host with Some h -> " on " ^ h | None -> "")
+          retry.backoff;
+        Dr_sim.Engine.schedule (Bus.engine bus)
+          ~delay:(Float.max 0.0 retry.backoff)
+          (fun () -> attempt (n + 1) ~host_override:next_host)
+      | Error _ -> on_done outcome
+    in
+    match P.obj_cap bus ~instance with
+    | Error e -> finish (Error e)
+    | Ok cap0 ->
+      let module_name = Option.value ~default:cap0.cap_module new_module in
+      let host =
+        match host_override with
+        | Some h -> h
+        | None -> Option.value ~default:cap0.cap_host new_host
+      in
+      record bus "replace %s: %s on %s -> %s: %s on %s" instance
+        cap0.cap_module cap0.cap_host new_instance module_name host;
+      let j =
+        Journal.create bus
+          ~label:(Printf.sprintf "replace %s -> %s" instance new_instance)
+      in
+      let settled = ref false in
+      let conclude outcome =
+        if not !settled then begin
+          settled := true;
+          finish outcome
+        end
+      in
+      let fail e =
+        Journal.rollback j ~reason:e;
+        conclude (Error e)
+      in
+      Journal.arm_divulge j ~instance (fun image ->
+          if not !settled then
+            (* Re-snapshot NOW: other reconfigurations may have rebound
+               the module's interfaces while it was travelling to its
+               reconfiguration point, and the batch must edit the
+               *current* configuration (the paper: obj_cap "corresponds
+               to the current configuration, which could have been
+               changed dynamically"). *)
+            match P.obj_cap bus ~instance with
+            | Error e -> fail e
+            | Ok cap -> (
+              Journal.note_divulged j ~cap ~image;
+              match
+                P.translate_image bus ~src_host:cap.cap_host ~dst_host:host
+                  image
+              with
+              | Error e -> fail (Printf.sprintf "state translation failed: %s" e)
+              | Ok image' -> (
+                let batch = rebind_batch cap ~new_instance in
+                (* The old module has complied. Start the new instance
+                   first so the batch's queue-copy commands have a live
+                   destination, then apply the rebinding commands all at
+                   once, deposit the state, and remove the old instance.
+                   All of this happens at one instant of virtual time —
+                   no quantum runs in between. *)
+                match
+                  Journal.spawn j ~instance:new_instance ~module_name ~host
+                    ?spec:cap.cap_spec ~status:"clone" ()
+                with
+                | Error e -> fail e
+                | Ok () ->
+                  Journal.rebind j batch;
+                  Bus.deposit_state bus ~instance:new_instance image';
+                  Journal.kill j ~instance ~module_name:cap.cap_module
+                    ~host:cap.cap_host ?spec:cap.cap_spec ~image ();
+                  Journal.commit j;
+                  record bus "replace %s -> %s complete" instance new_instance;
+                  conclude (Ok new_instance))));
+      Bus.signal_reconfig bus ~instance;
+      match deadline with
+      | None -> ()
+      | Some window ->
+        (* the signal→divulge window of the paper's §4 placement hazard:
+           a module that never reaches a reconfiguration point (or
+           crashed on the way) triggers rollback instead of spinning the
+           event budget *)
+        Dr_sim.Engine.schedule (Bus.engine bus) ~delay:window (fun () ->
+            if not !settled then begin
+              record bus "replace %s: deadline (%.1f) expired before divulge"
+                instance window;
+              Journal.rollback j ~reason:"deadline expired";
+              conclude
+                (Error
+                   (Printf.sprintf
+                      "%s did not divulge within the %.1f deadline" instance
+                      window))
+            end)
+  in
+  attempt 1 ~host_override:None
 
 let migrate bus ~instance ~new_instance ~new_host ~on_done () =
   replace bus ~instance ~new_instance ~new_host ~on_done ()
@@ -84,68 +158,93 @@ let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
   | Error e -> on_done (Error e)
   | Ok cap0 ->
     let replica_host = Option.value ~default:cap0.cap_host replica_host in
-    record bus "replicate %s -> %s on %s" instance replica_instance replica_host;
-    P.objstate_move bus ~old_instance:instance
-      ~deliver:(fun image ->
-        let ( let* ) = Result.bind in
+    record bus "replicate %s -> %s on %s" instance replica_instance
+      replica_host;
+    let j =
+      Journal.create bus
+        ~label:(Printf.sprintf "replicate %s -> %s" instance replica_instance)
+    in
+    Journal.arm_divulge j ~instance (fun image ->
         (* re-snapshot: bindings may have changed while waiting *)
-        let outcome =
-          let* cap = P.obj_cap bus ~instance in
-          let restart_old () =
-          (* the original halted after divulging; restart it in place
-             under its own name with the same image, preserving any
-             messages still queued at its interfaces *)
+        match P.obj_cap bus ~instance with
+        | Error e ->
+          Journal.rollback j ~reason:e;
+          on_done (Error e)
+        | Ok cap -> (
+          Journal.note_divulged j ~cap ~image;
+          (* Phase 1 — restart the original in place: it halted after
+             divulging; bring it back under its own name with the same
+             image, preserving any messages still queued at its
+             interfaces. Committed on its own: if the replica later
+             fails, the restored original *is* the consistent rollback
+             state and must not be undone. *)
           let parked =
             List.map
               (fun iface ->
-                (iface, Dr_bus.Bus.take_queue bus (cap.cap_instance, iface)))
+                (iface, Bus.take_queue bus (cap.cap_instance, iface)))
               cap.cap_ifaces
           in
-          P.chg_obj_del bus ~instance;
-          let* () =
-            P.chg_obj_add bus ~instance ~module_name:cap.cap_module
+          Journal.kill j ~instance ~module_name:cap.cap_module
+            ~host:cap.cap_host ?spec:cap.cap_spec ~image ();
+          match
+            Journal.spawn j ~instance ~module_name:cap.cap_module
               ~host:cap.cap_host ?spec:cap.cap_spec ~status:"clone" ()
-          in
-          Dr_bus.Bus.deposit_state bus ~instance image;
-          List.iter
-            (fun (iface, values) ->
-              List.iter
-                (fun v -> Dr_bus.Bus.inject bus ~dst:(instance, iface) v)
-                values)
-            parked;
-          Ok ()
-        in
-        let start_replica () =
-          let* image' =
-            P.translate_image bus ~src_host:cap.cap_host ~dst_host:replica_host
-              image
-          in
-          let* () =
-            P.chg_obj_add bus ~instance:replica_instance
-              ~module_name:cap.cap_module ~host:replica_host ?spec:cap.cap_spec
-              ~status:"clone" ()
-          in
-          Dr_bus.Bus.deposit_state bus ~instance:replica_instance image';
-          (* duplicate the original's bindings for the replica *)
-          List.iter
-            (fun ((src : Dr_bus.Bus.endpoint), dst) ->
-              Dr_bus.Bus.add_route bus ~src:(replica_instance, snd src) ~dst)
-            cap.cap_out_routes;
-          List.iter
-            (fun (src, (dst : Dr_bus.Bus.endpoint)) ->
-              Dr_bus.Bus.add_route bus ~src ~dst:(replica_instance, snd dst))
-            cap.cap_in_routes;
-          Ok ()
-        in
-          let* () = restart_old () in
-          start_replica ()
-        in
-        match outcome with
-        | Error e -> on_done (Error e)
-        | Ok () ->
-          record bus "replicate %s -> %s complete" instance replica_instance;
-          on_done (Ok replica_instance))
-      ()
+          with
+          | Error e ->
+            Journal.rollback j ~reason:e;
+            on_done (Error e)
+          | Ok () -> (
+            Bus.deposit_state bus ~instance image;
+            List.iter
+              (fun (iface, values) ->
+                List.iter
+                  (fun v -> Bus.inject bus ~dst:(instance, iface) v)
+                  values)
+              parked;
+            Journal.commit j;
+            (* Phase 2 — start the replica under a fresh journal: on
+               failure only the replica-side edits are undone and the
+               restored original keeps serving. *)
+            let j2 =
+              Journal.create bus
+                ~label:
+                  (Printf.sprintf "replicate %s -> %s (replica)" instance
+                     replica_instance)
+            in
+            let fail e =
+              Journal.rollback j2 ~reason:e;
+              on_done (Error e)
+            in
+            match
+              P.translate_image bus ~src_host:cap.cap_host
+                ~dst_host:replica_host image
+            with
+            | Error e -> fail e
+            | Ok image' -> (
+              match
+                Journal.spawn j2 ~instance:replica_instance
+                  ~module_name:cap.cap_module ~host:replica_host
+                  ?spec:cap.cap_spec ~status:"clone" ()
+              with
+              | Error e -> fail e
+              | Ok () ->
+                Bus.deposit_state bus ~instance:replica_instance image';
+                (* duplicate the original's bindings for the replica *)
+                List.iter
+                  (fun ((src : Bus.endpoint), dst) ->
+                    Journal.add_route j2
+                      ~src:(replica_instance, snd src) ~dst)
+                  cap.cap_out_routes;
+                List.iter
+                  (fun (src, (dst : Bus.endpoint)) ->
+                    Journal.add_route j2 ~src
+                      ~dst:(replica_instance, snd dst))
+                  cap.cap_in_routes;
+                Journal.commit j2;
+                record bus "replicate %s -> %s complete" instance
+                  replica_instance;
+                on_done (Ok replica_instance)))));
+    Bus.signal_reconfig bus ~instance
 
 let replace_stateless bus ~instance ~new_instance ?new_module ?new_host () =
   match P.obj_cap bus ~instance with
@@ -155,34 +254,64 @@ let replace_stateless bus ~instance ~new_instance ?new_module ?new_host () =
     let host = Option.value ~default:cap.cap_host new_host in
     record bus "replace-stateless %s -> %s: %s on %s" instance new_instance
       module_name host;
+    let j =
+      Journal.create bus
+        ~label:
+          (Printf.sprintf "replace-stateless %s -> %s" instance new_instance)
+    in
     let batch = rebind_batch cap ~new_instance in
     match
-      P.chg_obj_add bus ~instance:new_instance ~module_name ~host
+      Journal.spawn j ~instance:new_instance ~module_name ~host
         ?spec:cap.cap_spec ~status:"normal" ()
     with
-    | Error e -> Error e
+    | Error e ->
+      Journal.rollback j ~reason:e;
+      Error e
     | Ok () ->
-      P.rebind bus batch;
-      P.chg_obj_del bus ~instance;
+      Journal.rebind j batch;
+      Journal.kill j ~instance ~module_name:cap.cap_module ~host:cap.cap_host
+        ?spec:cap.cap_spec ();
+      Journal.commit j;
       record bus "replace-stateless %s -> %s complete" instance new_instance;
       Ok new_instance)
 
 let add_module bus ~instance ~module_name ~host ?spec ~binds () =
-  match Dr_bus.Bus.spawn bus ~instance ~module_name ~host ?spec () with
-  | Error _ as e -> e
+  let j =
+    Journal.create bus ~label:(Printf.sprintf "add-module %s" instance)
+  in
+  match Journal.spawn j ~instance ~module_name ~host ?spec () with
+  | Error e ->
+    Journal.rollback j ~reason:e;
+    Error e
   | Ok () ->
-    List.iter (fun (src, dst) -> Dr_bus.Bus.add_route bus ~src ~dst) binds;
+    List.iter (fun (src, dst) -> Journal.add_route j ~src ~dst) binds;
+    Journal.commit j;
     Ok ()
 
 let remove_module bus ~instance =
-  List.iter
-    (fun ((src : Dr_bus.Bus.endpoint), (dst : Dr_bus.Bus.endpoint)) ->
-      if String.equal (fst src) instance || String.equal (fst dst) instance then
-        Dr_bus.Bus.del_route bus ~src ~dst)
-    (Dr_bus.Bus.all_routes bus);
-  Dr_bus.Bus.kill bus ~instance
+  match P.obj_cap bus ~instance with
+  | Error _ ->
+    (* no such instance: still sweep any dangling routes, as before *)
+    List.iter
+      (fun ((src : Bus.endpoint), (dst : Bus.endpoint)) ->
+        if String.equal (fst src) instance || String.equal (fst dst) instance
+        then Bus.del_route bus ~src ~dst)
+      (Bus.all_routes bus);
+    Bus.kill bus ~instance
+  | Ok cap ->
+    let j =
+      Journal.create bus ~label:(Printf.sprintf "remove-module %s" instance)
+    in
+    List.iter
+      (fun ((src : Bus.endpoint), (dst : Bus.endpoint)) ->
+        if String.equal (fst src) instance || String.equal (fst dst) instance
+        then Journal.del_route j ~src ~dst)
+      (Bus.all_routes bus);
+    Journal.kill j ~instance ~module_name:cap.cap_module ~host:cap.cap_host
+      ?spec:cap.cap_spec ();
+    Journal.commit j
 
-let run_sync bus ?(max_events = 1_000_000) ?watch script =
+let run_sync bus ?(max_events = 1_000_000) ?deadline ?watch script =
   let result = ref None in
   script ~on_done:(fun r -> result := Some r);
   (* a watched instance that crashes, halts or disappears before the
@@ -194,19 +323,25 @@ let run_sync bus ?(max_events = 1_000_000) ?watch script =
     match watch with
     | None -> false
     | Some instance -> (
-      match Dr_bus.Bus.process_status bus ~instance with
+      match Bus.process_status bus ~instance with
       | Some (Machine.Crashed _) | Some Machine.Halted | None -> true
       | Some _ -> false)
   in
-  Dr_bus.Bus.run_while bus ~max_events (fun () ->
-      Option.is_none !result && not (doomed ()));
+  let started = Bus.now bus in
+  let expired () =
+    match deadline with
+    | None -> false
+    | Some d -> Bus.now bus -. started > d
+  in
+  Bus.run_while bus ~max_events (fun () ->
+      Option.is_none !result && not (doomed ()) && not (expired ()));
   match !result with
   | Some r -> r
   | None -> (
     match watch with
     | Some instance when doomed () ->
       Error
-        (match Dr_bus.Bus.process_status bus ~instance with
+        (match Bus.process_status bus ~instance with
         | Some (Machine.Crashed message) ->
           Printf.sprintf "%s crashed before the reconfiguration completed: %s"
             instance message
@@ -216,4 +351,9 @@ let run_sync bus ?(max_events = 1_000_000) ?watch script =
         | _ ->
           Printf.sprintf "%s was removed before the reconfiguration completed"
             instance)
+    | _ when expired () ->
+      Error
+        (Printf.sprintf
+           "reconfiguration did not complete within the %.1f deadline"
+           (Option.get deadline))
     | _ -> Error "reconfiguration script did not complete")

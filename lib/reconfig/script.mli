@@ -15,12 +15,27 @@
 type outcome = (string, string) result
 (** [Ok new_instance] or an error message. *)
 
+type retry = {
+  attempts : int;  (** total attempts, including the first *)
+  backoff : float;  (** virtual-time delay between attempts *)
+  alt_hosts : string list;
+      (** hosts to cycle through on re-attempts; empty = same host *)
+}
+(** Retry policy for {!replace}: after a failed (and rolled-back)
+    attempt, re-signal the target after [backoff] units of virtual time,
+    optionally on the next host from [alt_hosts]. *)
+
+val no_retry : retry
+(** One attempt, no backoff. *)
+
 val replace :
   Dr_bus.Bus.t ->
   instance:string ->
   new_instance:string ->
   ?new_module:string ->
   ?new_host:string ->
+  ?deadline:float ->
+  ?retry:retry ->
   on_done:(outcome -> unit) ->
   unit ->
   unit
@@ -29,7 +44,19 @@ val replace :
     new instance, move pending queues), signal the old module, and once
     it divulges: translate the image for the destination architecture,
     apply the rebinding atomically, start the new instance as a clone,
-    deposit the state, and remove the old instance. *)
+    deposit the state, and remove the old instance.
+
+    The script is transactional: every primitive goes through a
+    {!Journal}, and any failure — spawn error, translation error, or
+    [deadline] — rolls the applied prefix back, leaving the old
+    configuration fully routed and the old instance in service (its own
+    image re-deposited if it had already divulged).
+
+    [deadline] bounds the signal→divulge window in virtual time: if the
+    target has not divulged within [deadline] of the script starting
+    (it is stuck away from its reconfiguration points, or crashed), the
+    attempt is rolled back and fails. [retry] re-runs failed attempts
+    after a virtual-time backoff, optionally cycling [alt_hosts]. *)
 
 val migrate :
   Dr_bus.Bus.t ->
@@ -87,6 +114,7 @@ val remove_module : Dr_bus.Bus.t -> instance:string -> unit
 val run_sync :
   Dr_bus.Bus.t ->
   ?max_events:int ->
+  ?deadline:float ->
   ?watch:string ->
   (on_done:(outcome -> unit) -> unit) ->
   outcome
@@ -94,4 +122,8 @@ val run_sync :
     budget is exhausted). [watch] names the instance whose compliance
     the script waits on: if it crashes, halts or is removed before the
     script completes, [run_sync] fails fast with a descriptive error
-    instead of burning the event budget on other processes' events. *)
+    instead of burning the event budget on other processes' events.
+    [deadline] is a coarse driver-side guard: stop (with an error) once
+    the script has run for that much virtual time without completing.
+    Unlike {!replace}'s own [?deadline] it does not roll anything back —
+    prefer the script-level deadline for transactional behaviour. *)

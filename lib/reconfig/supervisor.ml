@@ -1,0 +1,93 @@
+module Bus = Dr_bus.Bus
+module Machine = Dr_interp.Machine
+
+type restart = {
+  rs_time : float;
+  rs_old : string;
+  rs_new : string;
+  rs_host : string;
+}
+
+type t = {
+  bus : Bus.t;
+  period : float;
+  max_restarts : int;
+  fallback_hosts : string list;
+  (* base name -> (current generation's instance name, restarts so far) *)
+  watched : (string, string * int) Hashtbl.t;
+  mutable history : restart list;  (* newest first *)
+  mutable running : bool;
+}
+
+let record t fmt =
+  Format.kasprintf
+    (fun detail ->
+      Dr_sim.Trace.record (Bus.trace t.bus) ~time:(Bus.now t.bus)
+        ~category:"supervisor" ~detail)
+    fmt
+
+let generation base n = Printf.sprintf "%s~%d" base n
+
+let pick_host t ~current_host =
+  if not (Bus.host_is_down t.bus current_host) then None
+  else
+    List.find_opt (fun h -> not (Bus.host_is_down t.bus h)) t.fallback_hosts
+
+let check t base =
+  match Hashtbl.find_opt t.watched base with
+  | None -> ()
+  | Some (current, n) -> (
+    match Bus.process_status t.bus ~instance:current with
+    | Some (Machine.Crashed reason) when n >= t.max_restarts ->
+      record t "giving up on %s after %d restart(s) (%s)" base n reason;
+      Hashtbl.remove t.watched base
+    | Some (Machine.Crashed _) -> (
+      let next = generation base (n + 1) in
+      let new_host =
+        match Bus.instance_host t.bus ~instance:current with
+        | None -> None
+        | Some h -> pick_host t ~current_host:h
+      in
+      match
+        Script.replace_stateless t.bus ~instance:current ~new_instance:next
+          ?new_host ()
+      with
+      | Ok _ ->
+        let host = Option.value ~default:"?" (Bus.instance_host t.bus ~instance:next) in
+        record t "restarted %s as %s on %s (restart %d of %d)" current next
+          host (n + 1) t.max_restarts;
+        Hashtbl.replace t.watched base (next, n + 1);
+        t.history <-
+          { rs_time = Bus.now t.bus; rs_old = current; rs_new = next;
+            rs_host = host }
+          :: t.history
+      | Error e -> record t "failed to restart %s: %s" current e)
+    | Some _ -> ()
+    | None ->
+      (* removed by a reconfiguration script; nothing left to supervise *)
+      Hashtbl.remove t.watched base)
+
+let start bus ?(period = 1.0) ?(max_restarts = 3) ?(fallback_hosts = [])
+    ~watch () =
+  let t =
+    { bus; period; max_restarts; fallback_hosts;
+      watched = Hashtbl.create 7; history = []; running = true }
+  in
+  List.iter (fun base -> Hashtbl.replace t.watched base (base, 0)) watch;
+  let rec tick () =
+    if t.running then begin
+      List.iter (check t) (List.of_seq (Hashtbl.to_seq_keys t.watched));
+      if Hashtbl.length t.watched > 0 then
+        Dr_sim.Engine.schedule (Bus.engine bus) ~delay:t.period tick
+      else t.running <- false
+    end
+  in
+  Dr_sim.Engine.schedule (Bus.engine bus) ~delay:t.period tick;
+  t
+
+let stop t = t.running <- false
+
+let restarts t = List.rev t.history
+
+let current t ~base =
+  Option.map fst (Hashtbl.find_opt t.watched base)

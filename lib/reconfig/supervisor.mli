@@ -1,0 +1,47 @@
+(** Crash supervisor: restarts crash-injected instances.
+
+    The paper's configuration manager owns the {e planned} half of
+    dynamic change; the supervisor handles the unplanned half that the
+    fault plane ({!Dr_bus.Faults}) introduces. It polls the watched
+    instances every [period] units of virtual time and, when one is
+    found [Crashed], restarts it through
+    {!Script.replace_stateless} under a generation name ([pump] →
+    [pump~1] → [pump~2] …), rebinding the crashed instance's routes and
+    moving its pending queues — process state is lost, which is exactly
+    the stateless-restart contract. If the instance's host is down, the
+    first live host from [fallback_hosts] is used instead. After
+    [max_restarts] generations the supervisor gives up on that instance.
+
+    Every action emits a ["supervisor"] trace entry, so supervised runs
+    stay replayable and auditable. *)
+
+type t
+
+type restart = {
+  rs_time : float;  (** virtual time of the restart *)
+  rs_old : string;  (** crashed generation *)
+  rs_new : string;  (** replacement generation *)
+  rs_host : string;  (** host the replacement runs on *)
+}
+
+val start :
+  Dr_bus.Bus.t ->
+  ?period:float ->
+  ?max_restarts:int ->
+  ?fallback_hosts:string list ->
+  watch:string list ->
+  unit ->
+  t
+(** Begin supervising [watch] (base instance names). Defaults:
+    [period = 1.0], [max_restarts = 3], no fallback hosts. The
+    supervisor stops by itself once nothing is left to watch. *)
+
+val stop : t -> unit
+(** Cancel supervision; the next scheduled tick becomes a no-op. *)
+
+val restarts : t -> restart list
+(** Restart history, oldest first. *)
+
+val current : t -> base:string -> string option
+(** The generation currently standing in for [base], if still watched
+    ([Some base] itself before any restart). *)

@@ -1,13 +1,17 @@
 module Bus = Dr_bus.Bus
 module Trace = Dr_sim.Trace
 
-let default_events = [ "script"; "signal"; "state"; "lifecycle"; "crash" ]
+let default_events =
+  [ "script"; "signal"; "state"; "lifecycle"; "crash"; "fault"; "rollback";
+    "supervisor" ]
 
 (* Marker characters drawn on an instance's bar:
    S — reconfiguration signal delivered
    D — state divulged
    R — state deposited (restoration)
-   X — crash *)
+   X — crash
+   L — injected message loss at the sending instance
+   B — instance brought back by a rollback *)
 let marker_of_entry (e : Trace.entry) instance =
   let starts prefix =
     let d = e.detail in
@@ -25,6 +29,9 @@ let marker_of_entry (e : Trace.entry) instance =
     ->
     Some 'R'
   | "crash" when starts (instance ^ " crashed") -> Some 'X'
+  | "fault" when starts ("injected loss: " ^ instance ^ ".") -> Some 'L'
+  | "rollback" when String.equal e.detail ("restored instance " ^ instance) ->
+    Some 'B'
   | _ -> None
 
 let render ?(width = 60) ?(events = default_events) bus =
@@ -74,7 +81,9 @@ let render ?(width = 60) ?(events = default_events) bus =
            (Bytes.to_string bar) r.r_module r.r_host state))
     roster;
   Buffer.add_string buf
-    "\n  [ start   ] end   S signal   D divulge   R restore   X crash\n";
+    "\n\
+    \  [ start   ] end   S signal   D divulge   R restore   X crash   L loss  \
+    \ B rollback\n";
   let logged =
     List.filter (fun (e : Trace.entry) -> List.mem e.category events) entries
   in

@@ -147,6 +147,28 @@ let start_large ?params ?(tokens = 1) system ~n =
     bus
   | Error e -> failwith ("ring: large start failed: " ^ e)
 
+(* ------------------------------------------------------------- chaos *)
+
+module Faults = Dr_bus.Faults
+
+let chaos_plan ?(loss = 0.05) ?(dup = 0.0) ?(jitter = 0.0) ?host_crash
+    ?host_recover () =
+  let events =
+    (match host_crash with
+    | None -> []
+    | Some (h, t) -> [ (t, Faults.Host_crash h) ])
+    @
+    match (host_crash, host_recover) with
+    | Some (h, _), Some t -> [ (t, Faults.Host_recover h) ]
+    | _ -> []
+  in
+  Faults.plan ~events ~rules:[ Faults.rule ~loss ~dup () ] ~jitter ()
+
+let start_chaos ?params ?(seed = 1) ?plan system =
+  let bus = start ?params system in
+  Faults.install bus ~seed (Option.value ~default:(chaos_plan ()) plan);
+  bus
+
 let passes bus ~instance =
   match Bus.machine bus ~instance with
   | Some m -> (

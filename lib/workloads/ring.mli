@@ -36,6 +36,31 @@ val start_large :
     evenly spaced members, so up to [tokens] deliveries are in flight at
     once. *)
 
+val chaos_plan :
+  ?loss:float ->
+  ?dup:float ->
+  ?jitter:float ->
+  ?host_crash:string * float ->
+  ?host_recover:float ->
+  unit ->
+  Dr_bus.Faults.plan
+(** A fault plan for the chaos variant: uniform message [loss] (default
+    5%) and [dup] probabilities on every route, optional latency
+    [jitter], and optionally a host crash at a virtual time (with a
+    later recovery). Under loss the token invariant no longer holds —
+    chaos runs measure whether {e reconfigurations} stay consistent, not
+    whether the application survives an unreliable network. *)
+
+val start_chaos :
+  ?params:Dr_bus.Bus.params ->
+  ?seed:int ->
+  ?plan:Dr_bus.Faults.plan ->
+  Dynrecon.System.t ->
+  Dr_bus.Bus.t
+(** [start] plus {!Dr_bus.Faults.install} of [plan] (default
+    {!chaos_plan}[ ()]) seeded with [seed] (default 1) — a deterministic,
+    replayable faulty run. *)
+
 val passes : Dr_bus.Bus.t -> instance:string -> int
 (** The member's pass counter (-1 if the instance is gone). *)
 

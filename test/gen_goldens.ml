@@ -9,4 +9,5 @@ let () =
   in
   write "golden_monitor.trace" (Golden.monitor_trace ());
   write "golden_ring.trace" (Golden.ring_trace ());
+  write "golden_chaos.trace" (Golden.chaos_trace ());
   print_endline ("goldens written to " ^ dir)

@@ -36,3 +36,24 @@ let ring_trace () =
   | Error e -> failwith ("golden ring: insert: " ^ e));
   Bus.run ~until:60.0 bus;
   dump bus
+
+(* A seeded chaos run: 5% message loss plus a host crash in the middle
+   of a transactional replacement's signal->divulge window. Pins the
+   fault plane's PRNG consumption order and the journal's rollback
+   records byte-for-byte. *)
+let chaos_trace () =
+  let system = Dr_workloads.Ring.load () in
+  let plan =
+    Dr_workloads.Ring.chaos_plan ~loss:0.05 ~host_crash:("hostB", 8.5)
+      ~host_recover:20.0 ()
+  in
+  let bus = Dr_workloads.Ring.start_chaos ~seed:7 ~plan system in
+  Bus.run ~until:8.0 bus;
+  (match
+     Dr_reconfig.Script.run_sync bus (fun ~on_done ->
+         Dr_reconfig.Script.replace bus ~instance:"c" ~new_instance:"c2"
+           ~deadline:25.0 ~on_done ())
+   with
+  | Ok _ | Error _ -> ());
+  Bus.run ~until:40.0 bus;
+  dump bus

@@ -28,9 +28,11 @@ let check_golden name produced =
 
 let test_monitor () = check_golden "golden_monitor.trace" (Golden.monitor_trace ())
 let test_ring () = check_golden "golden_ring.trace" (Golden.ring_trace ())
+let test_chaos () = check_golden "golden_chaos.trace" (Golden.chaos_trace ())
 
 let () =
   Alcotest.run "golden_trace"
     [ ( "byte-identical to seed",
         [ Alcotest.test_case "monitor migration" `Quick test_monitor;
-          Alcotest.test_case "ring insertion" `Quick test_ring ] ) ]
+          Alcotest.test_case "ring insertion" `Quick test_ring;
+          Alcotest.test_case "seeded chaos replace" `Quick test_chaos ] ) ]
