@@ -1,0 +1,41 @@
+(* Minimal hand-rolled JSON emission for the machine-readable bench
+   artifacts (BENCH_interp.json, BENCH_scaling.json) — the repo
+   deliberately carries no JSON dependency. Values are pre-rendered
+   strings; [obj]/[arr] add the punctuation, [str] escapes. *)
+
+let str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let int = string_of_int
+let bool = string_of_bool
+
+let float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let obj fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat ", " items ^ "]"
+
+let write path json =
+  let oc = open_out path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path

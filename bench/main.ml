@@ -18,11 +18,19 @@
    latency under seeded fault injection (message loss, host crashes) —
    the transactional-rollback experiment of EXPERIMENTS.md.
 
+   Part 5 (Interp) compares the resolved slot-indexed engine against
+   the original AST-walking engine (instrs/sec on the D1 hot loop,
+   depth-64 capture/restore) and emits BENCH_interp.json.
+
    Run with: dune exec bench/main.exe             (tables + micro)
              dune exec bench/main.exe -- tables   (virtual-time tables only)
              dune exec bench/main.exe -- micro    (wall-clock only)
              dune exec bench/main.exe -- scaling  (bus scaling suite)
-             dune exec bench/main.exe -- chaos    (fault-injection suite) *)
+             dune exec bench/main.exe -- chaos    (fault-injection suite)
+             dune exec bench/main.exe -- interp   (engine comparison)
+
+   "scaling" and "interp" accept --quick (small N, CI smoke); both emit
+   machine-readable BENCH_*.json artifacts next to bench_output.txt. *)
 
 open Bechamel
 open Toolkit
@@ -270,7 +278,11 @@ let run_micro () =
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
   if what = "tables" || what = "all" then Tables.all ();
   if what = "micro" || what = "all" then run_micro ();
-  if what = "scaling" then Scaling.all ();
-  if what = "chaos" then Chaos.all ()
+  if what = "scaling" then
+    if quick then Scaling.all ~sizes:[ 10; 50 ] ~events:20_000 ()
+    else Scaling.all ();
+  if what = "chaos" then Chaos.all ();
+  if what = "interp" then Interp_bench.all ~quick ()

@@ -39,9 +39,25 @@ let all ?(sizes = [ 10; 100; 1000 ]) ?(events = 200_000) () =
   Printf.printf "%8s %12s %10s %12s %16s\n" "N" "deploy(ms)" "events"
     "deliveries" "deliveries/sec";
   Printf.printf "%s\n" (String.make 62 '-');
-  List.iter
-    (fun n ->
-      let r = run_one ~n ~events in
-      Printf.printf "%8d %12.1f %10d %12d %16.0f\n" r.sc_n r.sc_deploy_ms
-        r.sc_events r.sc_deliveries r.sc_rate)
-    sizes
+  let rows =
+    List.map
+      (fun n ->
+        let r = run_one ~n ~events in
+        Printf.printf "%8d %12.1f %10d %12d %16.0f\n%!" r.sc_n r.sc_deploy_ms
+          r.sc_events r.sc_deliveries r.sc_rate;
+        r)
+      sizes
+  in
+  let row_json r =
+    Json_out.obj
+      [ ("n", Json_out.int r.sc_n);
+        ("deploy_ms", Json_out.float r.sc_deploy_ms);
+        ("events", Json_out.int r.sc_events);
+        ("deliveries", Json_out.int r.sc_deliveries);
+        ("deliveries_per_sec", Json_out.float r.sc_rate) ]
+  in
+  Json_out.write "BENCH_scaling.json"
+    (Json_out.obj
+       [ ("suite", Json_out.str "scaling");
+         ("events", Json_out.int events);
+         ("rows", Json_out.arr (List.map row_json rows)) ])

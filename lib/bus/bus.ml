@@ -59,9 +59,7 @@ type t = {
   trace : Trace.t;
   bus_params : params;
   bus_hosts : host list;
-  programs :
-    (string, Dr_lang.Ast.program * (string, Dr_interp.Ir.proc_code) Hashtbl.t)
-    Hashtbl.t;
+  programs : (string, Dr_lang.Ast.program * Dr_interp.Cache.artifact) Hashtbl.t;
   mutable procs_rev : process list;
   live : (string, process) Hashtbl.t;
   mutable routes_rev : (endpoint * endpoint) list;
@@ -158,8 +156,11 @@ let register_program t (program : Dr_lang.Ast.program) =
          (Fmt.list ~sep:(Fmt.any "; ") Dr_lang.Typecheck.pp_error)
          errors)
   | Ok () ->
-    let code = Dr_interp.Lower.lower_program program in
-    Hashtbl.replace t.programs program.module_name (program, code);
+    (* Lower + resolve through the content-keyed cache: re-registering
+       the same module text (retries, restarts, repeated deployments)
+       reuses one compiled artifact. *)
+    let artifact = Dr_interp.Cache.prepare program in
+    Hashtbl.replace t.programs program.module_name (program, artifact);
     Ok ()
 
 let registered_program t name =
@@ -444,10 +445,13 @@ let spawn t ~instance ~module_name ~host ?spec ?(status = "normal") () =
     | Some h -> (
       match Hashtbl.find_opt t.programs module_name with
       | None -> Error (Printf.sprintf "module %s is not registered" module_name)
-      | Some (program, code) ->
+      | Some (program, artifact) ->
         let p_ref = ref None in
         let io = instance_io t p_ref in
-        let machine = Machine.create ~status_attr:status ~io ~code program in
+        let machine =
+          Machine.create ~status_attr:status ~io
+            ~resolved:artifact.Dr_interp.Cache.a_resolved program
+        in
         let p =
           { p_instance = instance;
             p_module = module_name;

@@ -1,17 +1,16 @@
-(* The MiniProc abstract machine, running resolved slot-indexed code.
-
-   Frames are flat [Value.t ref array]s and every variable access in the
-   interpreter loop is an array read through a pre-computed index (see
-   {!Resolve}); the per-access string hashing of the original engine
-   (preserved as {!Ast_machine}) is gone. Observable behaviour — prints,
-   statuses, instruction counts, tracer output, error messages — is
-   identical: the differential tests in test_resolve.ml and the golden
-   traces pin this. *)
+(* The original AST-walking execution engine, kept verbatim as the
+   reference implementation: every variable access goes through a
+   per-frame (string, Value.t ref) Hashtbl.t and expressions are raw
+   [Ast.expr] trees. {!Machine} replaced it on the hot path with
+   resolved slot-indexed code; this engine remains the semantic oracle
+   for the differential property tests (test_resolve.ml) and the
+   before/after comparison in [bench -- interp]. Its observable
+   behaviour — prints, traces, instruction counts, error messages — is
+   the contract the resolved engine must match byte for byte. *)
 
 open Dr_lang
 module Value = Dr_state.Value
 module Image = Dr_state.Image
-module R = Resolve
 
 exception Runtime_error of string
 
@@ -30,29 +29,21 @@ let pp_status ppf = function
   | Sleeping d -> Fmt.pf ppf "sleeping(%g)" d
   | Blocked_read iface -> Fmt.pf ppf "blocked-read(%s)" iface
   | Blocked_decode -> Fmt.string ppf "blocked-decode"
-  | Crashed message -> Fmt.pf ppf "crashed(%s)" message
   | Halted -> Fmt.string ppf "halted"
+  | Crashed message -> Fmt.pf ppf "crashed(%s)" message
 
 type frame = {
-  rproc : R.rproc;
-  slots : Value.t ref array;
+  code : Ir.proc_code;
+  cells : (string, Value.t ref) Hashtbl.t;
   mutable pc : int;
   ret_slot : Value.t ref option;  (* caller's temp awaiting the result *)
 }
 
 type t = {
   prog : Ast.program;
-  rprog : R.program;
-  (* Machine-local view of the procedures: shared with [rprog] until the
-     first [replace_proc_code], then copied (indices are stable — new
-     procedures append). *)
-  mutable procs : R.rproc array;
-  mutable proc_index : (string, int) Hashtbl.t;
-  mutable procs_local : bool;
-  globals : Value.t ref array;
-  global_index : (string, int) Hashtbl.t;  (* shared, read-only *)
+  code_table : (string, Ir.proc_code) Hashtbl.t;
+  globals : (string, Value.t ref) Hashtbl.t;
   mutable stack : frame list;
-  mutable depth : int;  (* = List.length stack, maintained on push/pop *)
   heap : (int, Image.heap_block) Hashtbl.t;
   mutable next_block : int;
   mutable mstatus : status;
@@ -74,12 +65,12 @@ let status t = t.mstatus
 let set_tracer t tracer = t.tracer <- tracer
 let program t = t.prog
 let instr_count t = t.instrs_executed
-let stack_depth t = t.depth
+let stack_depth t = List.length t.stack
 let divulged t = t.divulged_image
 let signal_handled t = Option.is_some t.handler
 
 let current_proc t =
-  match t.stack with [] -> None | f :: _ -> Some f.rproc.rp_source.pc_name
+  match t.stack with [] -> None | f :: _ -> Some f.code.pc_name
 
 let set_ready t =
   match t.mstatus with
@@ -95,17 +86,13 @@ let force_crash t reason =
     t.mstatus <- Crashed reason
 
 let read_global t name =
-  Option.map
-    (fun i -> !(t.globals.(i)))
-    (Hashtbl.find_opt t.global_index name)
+  Option.map (fun cell -> !cell) (Hashtbl.find_opt t.globals name)
 
 let read_local t name =
   match t.stack with
   | [] -> None
   | frame :: _ ->
-    Option.map
-      (fun i -> !(frame.slots.(i)))
-      (Hashtbl.find_opt frame.rproc.R.rp_slot_index name)
+    Option.map (fun cell -> !cell) (Hashtbl.find_opt frame.cells name)
 
 let heap_block t id = Hashtbl.find_opt t.heap id
 
@@ -113,10 +100,13 @@ let heap_size t = Hashtbl.length t.heap
 
 (* ------------------------------------------------------------- values *)
 
-let cell_of_slot t frame = function
-  | R.Sframe i -> frame.slots.(i)
-  | R.Sglobal i -> t.globals.(i)
-  | R.Sunbound name -> runtime "unbound variable %s" name
+let lookup_cell t frame name =
+  match Hashtbl.find_opt frame.cells name with
+  | Some cell -> cell
+  | None -> (
+    match Hashtbl.find_opt t.globals name with
+    | Some cell -> cell
+    | None -> runtime "unbound variable %s" name)
 
 let block_cells t id =
   match Hashtbl.find_opt t.heap id with
@@ -184,33 +174,36 @@ let as_str = function
   | Value.Vstr s -> s
   | v -> runtime "expected a string, found %s" (Value.type_name v)
 
-let rec eval t frame (e : R.rexpr) : Value.t =
+let rec eval t frame (e : Ast.expr) : Value.t =
   match e with
-  | Rconst v -> v
-  | Rframe i -> !(frame.slots.(i))
-  | Rglobal i -> !(t.globals.(i))
-  | Runbound name -> runtime "unbound variable %s" name
-  | Rindex (base, idx) ->
+  | Int i -> Vint i
+  | Float f -> Vfloat f
+  | Bool b -> Vbool b
+  | Str s -> Vstr s
+  | Null -> Vnull
+  | Var name -> !(lookup_cell t frame name)
+  | Index (base, idx) ->
     let b = eval t frame base in
     let i = as_int (eval t frame idx) in
     heap_load t b i
-  | Raddr (slot, idx) -> (
+  | Addr (name, idx) -> (
     let i = as_int (eval t frame idx) in
-    match !(cell_of_slot t frame slot) with
+    match !(lookup_cell t frame name) with
     | Varr id -> Vptr (id, i)
     | Vptr (id, off) -> Vptr (id, off + i)
     | Vnull -> runtime "cannot take the address into null"
     | v -> runtime "cannot take an address into a %s" (Value.type_name v))
-  | Rneg e -> (
+  | Unop (Neg, e) -> (
     match eval t frame e with
     | Vint i -> Vint (-i)
     | Vfloat f -> Vfloat (-.f)
     | v -> runtime "cannot negate a %s" (Value.type_name v))
-  | Rnot e -> Vbool (not (as_bool (eval t frame e)))
-  | Rbinop (op, a, b) -> eval_binop t frame op a b
-  | Rresidual_call name ->
+  | Unop (Not, e) -> Vbool (not (as_bool (eval t frame e)))
+  | Binop (op, a, b) -> eval_binop t frame op a b
+  | Call (name, _) ->
+    (* lowering removed all calls from expressions *)
     runtime "internal error: residual call to %s in expression" name
-  | Rbuiltin (name, args) -> eval_builtin t frame name args
+  | Builtin (name, args) -> eval_builtin t frame name args
 
 and eval_binop t frame op a b =
   let va = eval t frame a in
@@ -231,7 +224,7 @@ and eval_binop t frame op a b =
       runtime "cannot order %s and %s" (Value.type_name va) (Value.type_name vb)
   in
   match op with
-  | Ast.Add -> (
+  | Add -> (
     match va, vb with
     | Value.Vptr (id, off), Value.Vint n -> Value.Vptr (id, off + n)
     | _ -> arith ( + ) ( +. ))
@@ -286,37 +279,62 @@ and eval_builtin t frame name args =
 
 (* ------------------------------------------------------------- frames *)
 
-let find_proc_code t name =
-  match Hashtbl.find_opt t.proc_index name with
-  | Some i -> t.procs.(i)
+let find_code t name =
+  match Hashtbl.find_opt t.code_table name with
+  | Some code -> code
   | None -> runtime "call to unknown procedure %s" name
 
-let make_frame t caller (rproc : R.rproc) (args : R.rcall_arg array) ret_slot =
-  let nparams = Array.length rproc.rp_params in
-  if Array.length args <> nparams then
-    runtime "%s expects %d arguments, got %d" rproc.rp_source.pc_name nparams
-      (Array.length args);
-  let slots = Array.map ref rproc.rp_defaults in
-  for k = 0 to nparams - 1 do
-    let slot_idx, (param : Ast.param) = rproc.rp_params.(k) in
-    let a = args.(k) in
-    if param.pref then begin
-      match a.R.ca_cell with
-      | Some s ->
-        (* share the caller's cell: writes propagate back *)
-        slots.(slot_idx) <- cell_of_slot t caller s
-      | None -> runtime "%s: ref argument must be a variable" rproc.rp_source.pc_name
-    end
-    else slots.(slot_idx) := eval t caller a.R.ca_expr
-  done;
-  { rproc; slots; pc = 0; ret_slot }
+let make_frame t caller (code : Ir.proc_code) args ret_slot =
+  let cells = Hashtbl.create 16 in
+  if List.length args <> List.length code.pc_params then
+    runtime "%s expects %d arguments, got %d" code.pc_name
+      (List.length code.pc_params) (List.length args);
+  List.iter2
+    (fun (param : Ast.param) arg_expr ->
+      if param.pref then begin
+        match arg_expr, caller with
+        | Ast.Var name, Some caller_frame ->
+          (* share the caller's cell: writes propagate back *)
+          Hashtbl.replace cells param.pname (lookup_cell t caller_frame name)
+        | Ast.Var name, None ->
+          Hashtbl.replace cells param.pname (lookup_cell t { code; cells; pc = 0; ret_slot = None } name)
+        | _ -> runtime "%s: ref argument must be a variable" code.pc_name
+      end
+      else begin
+        let v =
+          match caller with
+          | Some caller_frame -> eval t caller_frame arg_expr
+          | None -> eval t { code; cells; pc = 0; ret_slot = None } arg_expr
+        in
+        Hashtbl.replace cells param.pname (ref v)
+      end)
+    code.pc_params args;
+  List.iter
+    (fun (name, ty) ->
+      if not (Hashtbl.mem cells name) then
+        Hashtbl.replace cells name (ref (Value.default_of_ty ty)))
+    code.pc_locals;
+  List.iter
+    (fun name -> Hashtbl.replace cells name (ref (Value.Vint 0)))
+    code.pc_temps;
+  { code; cells; pc = 0; ret_slot }
 
-(* Frame for main or a signal handler: no caller, no arguments. *)
-let entry_frame (rproc : R.rproc) =
-  if Array.length rproc.rp_params <> 0 then
-    runtime "%s expects %d arguments, got 0" rproc.rp_source.pc_name
-      (Array.length rproc.rp_params);
-  { rproc; slots = Array.map ref rproc.rp_defaults; pc = 0; ret_slot = None }
+let push_call t ~callee ~args ~ret_temp =
+  (match t.stack with
+  | [] -> runtime "call with no active frame"
+  | frame :: _ ->
+    if List.length t.stack >= max_stack_depth then
+      runtime "stack overflow calling %s" callee;
+    let code = find_code t callee in
+    let ret_slot =
+      match ret_temp with
+      | None -> None
+      | Some temp -> Some (lookup_cell t frame temp)
+    in
+    (* resume after the call instruction *)
+    frame.pc <- frame.pc + 1;
+    let new_frame = make_frame t (Some frame) code args ret_slot in
+    t.stack <- new_frame :: t.stack)
 
 let do_return t value =
   match t.stack with
@@ -326,23 +344,22 @@ let do_return t value =
     | Some slot, Some v -> slot := v
     | Some _, None ->
       runtime "procedure %s fell through without returning a value"
-        frame.rproc.rp_source.pc_name
+        frame.code.pc_name
     | None, _ -> ());
     t.stack <- rest;
-    t.depth <- t.depth - 1;
     match rest with [] -> t.mstatus <- Halted | _ -> ())
 
 (* ----------------------------------------------------- state capture *)
 
 let capture t frame args =
   match args with
-  | R.Raexpr loc_expr :: rest ->
+  | Ast.Aexpr loc_expr :: rest ->
     let location = as_int (eval t frame loc_expr) in
     let values =
       List.map
         (function
-          | R.Raexpr e -> eval t frame e
-          | R.Ralv _ -> runtime "mh_capture takes expressions")
+          | Ast.Aexpr e -> eval t frame e
+          | Ast.Alv _ -> runtime "mh_capture takes expressions")
         rest
     in
     t.capture_records <- { Image.location; values } :: t.capture_records
@@ -398,7 +415,7 @@ let feed_image t (image : Image.t) =
 
 let restore t frame args =
   match args with
-  | R.Ralv loc_lv :: targets -> (
+  | Ast.Alv loc_lv :: targets -> (
     match List.rev t.restore_records with
     | [] -> runtime "mh_restore: restore buffer is empty"
     | record :: rev_rest ->
@@ -408,13 +425,13 @@ let restore t frame args =
           (List.length record.values) (List.length targets);
       let assign lv v =
         match lv with
-        | R.Ralv (R.Rlvar slot) -> cell_of_slot t frame slot := v
-        | R.Ralv (R.Rlindex (slot, idx)) ->
-          let base = !(cell_of_slot t frame slot) in
+        | Ast.Alv (Ast.Lvar name) -> lookup_cell t frame name := v
+        | Ast.Alv (Ast.Lindex (name, idx)) ->
+          let base = !(lookup_cell t frame name) in
           heap_store t base (as_int (eval t frame idx)) v
-        | R.Raexpr _ -> runtime "mh_restore takes lvalues"
+        | Ast.Aexpr _ -> runtime "mh_restore takes lvalues"
       in
-      assign (R.Ralv loc_lv) (Value.Vint record.location);
+      assign (Ast.Alv loc_lv) (Value.Vint record.location);
       List.iter2 assign targets record.values)
   | _ -> runtime "mh_restore: missing location target"
 
@@ -426,14 +443,14 @@ let exec_stmt_builtin t frame name args =
   | "mh_init" -> advance ()
   | "mh_read" -> (
     match args with
-    | [ R.Raexpr iface_e; Ralv target ] -> (
+    | [ Ast.Aexpr iface_e; Alv target ] -> (
       let iface = as_str (eval t frame iface_e) in
       match t.io.io_read iface with
       | Some v ->
         (match target with
-        | R.Rlvar slot -> cell_of_slot t frame slot := v
-        | R.Rlindex (slot, idx) ->
-          let base = !(cell_of_slot t frame slot) in
+        | Ast.Lvar name -> lookup_cell t frame name := v
+        | Ast.Lindex (name, idx) ->
+          let base = !(lookup_cell t frame name) in
           heap_store t base (as_int (eval t frame idx)) v);
         advance ()
       | None ->
@@ -442,7 +459,7 @@ let exec_stmt_builtin t frame name args =
     | _ -> runtime "mh_read: bad arguments")
   | "mh_write" -> (
     match args with
-    | [ R.Raexpr iface_e; Raexpr value_e ] ->
+    | [ Ast.Aexpr iface_e; Aexpr value_e ] ->
       let iface = as_str (eval t frame iface_e) in
       let v = eval t frame value_e in
       t.io.io_write iface v;
@@ -470,7 +487,7 @@ let exec_stmt_builtin t frame name args =
       else t.mstatus <- Blocked_decode)
   | "signal" -> (
     match args with
-    | [ R.Raexpr (R.Rconst (Value.Vstr handler)) ] ->
+    | [ Ast.Aexpr (Str handler) ] ->
       t.handler <- Some handler;
       advance ()
     | _ -> runtime "signal: expected a handler name literal")
@@ -478,43 +495,30 @@ let exec_stmt_builtin t frame name args =
 
 (* -------------------------------------------------------------- step *)
 
-let exec_instr t frame (instr : R.rinstr) =
+let exec_instr t frame (instr : Ir.instr) =
   let advance () = frame.pc <- frame.pc + 1 in
   match instr with
-  | Rskip -> advance ()
-  | Rassign (Rlvar slot, e) ->
-    cell_of_slot t frame slot := eval t frame e;
+  | Iskip -> advance ()
+  | Iassign (Lvar name, e) ->
+    lookup_cell t frame name := eval t frame e;
     advance ()
-  | Rassign (Rlindex (slot, idx), e) ->
-    let base = !(cell_of_slot t frame slot) in
+  | Iassign (Lindex (name, idx), e) ->
+    let base = !(lookup_cell t frame name) in
     let i = as_int (eval t frame idx) in
     heap_store t base i (eval t frame e);
     advance ()
-  | Rcall { target; callee; args; ret_slot } ->
-    if t.depth >= max_stack_depth then
-      runtime "stack overflow calling %s" callee;
-    let rproc = if target >= 0 then t.procs.(target) else find_proc_code t callee in
-    let ret =
-      match ret_slot with
-      | None -> None
-      | Some slot -> Some (cell_of_slot t frame slot)
-    in
-    (* resume after the call instruction *)
-    frame.pc <- frame.pc + 1;
-    let new_frame = make_frame t frame rproc args ret in
-    t.stack <- new_frame :: t.stack;
-    t.depth <- t.depth + 1
-  | Rreturn e ->
+  | Icall { callee; args; ret_temp } -> push_call t ~callee ~args ~ret_temp
+  | Ireturn e ->
     let v = Option.map (eval t frame) e in
     do_return t v
-  | Rjump target -> frame.pc <- target
-  | Rcjump { cond; if_false } ->
+  | Ijump target -> frame.pc <- target
+  | Icjump { cond; if_false } ->
     if as_bool (eval t frame cond) then advance () else frame.pc <- if_false
-  | Rprint es ->
+  | Iprint es ->
     let rendered = List.map (fun e -> display_value (eval t frame e)) es in
     t.io.io_print (String.concat "" rendered);
     advance ()
-  | Rsleep e -> (
+  | Isleep e -> (
     let v = eval t frame e in
     let duration =
       match v with
@@ -525,7 +529,7 @@ let exec_instr t frame (instr : R.rinstr) =
     (* advance first: on wake-up, execution resumes after the sleep *)
     advance ();
     t.mstatus <- Sleeping (Float.max 0.0 duration))
-  | Rbuiltin_stmt (name, args) -> exec_stmt_builtin t frame name args
+  | Ibuiltin (name, args) -> exec_stmt_builtin t frame name args
 
 let run_pending_signal t =
   if t.pending_signal then begin
@@ -533,12 +537,11 @@ let run_pending_signal t =
     match t.handler with
     | None -> ()  (* no handler installed: signal ignored *)
     | Some handler_name ->
-      let rproc = find_proc_code t handler_name in
+      let code = find_code t handler_name in
       (* The handler runs as an interrupt: its frame is pushed without
          advancing the interrupted frame's pc. *)
-      let frame = entry_frame rproc in
-      t.stack <- frame :: t.stack;
-      t.depth <- t.depth + 1
+      let frame = make_frame t None code [] None in
+      t.stack <- frame :: t.stack
   end
 
 let step t =
@@ -550,18 +553,14 @@ let step t =
     | [] -> t.mstatus <- Halted
     | frame -> (
       let frame = List.hd frame in
-      if frame.pc < 0 || frame.pc >= Array.length frame.rproc.rp_instrs then
-        t.mstatus <-
-          Crashed
-            (Printf.sprintf "pc out of range in %s" frame.rproc.rp_source.pc_name)
+      if frame.pc < 0 || frame.pc >= Array.length frame.code.pc_instrs then
+        t.mstatus <- Crashed (Printf.sprintf "pc out of range in %s" frame.code.pc_name)
       else begin
         t.instrs_executed <- t.instrs_executed + 1;
         (match t.tracer with
-        | Some hook ->
-          hook frame.rproc.rp_source.pc_name frame.pc
-            frame.rproc.rp_source.pc_instrs.(frame.pc)
+        | Some hook -> hook frame.code.pc_name frame.pc frame.code.pc_instrs.(frame.pc)
         | None -> ());
-        try exec_instr t frame frame.rproc.rp_instrs.(frame.pc) with
+        try exec_instr t frame frame.code.pc_instrs.(frame.pc) with
         | Runtime_error message -> t.mstatus <- Crashed message
       end))
 
@@ -574,12 +573,12 @@ let run ?(max_steps = max_int) t =
 
 (* ---------------------------------------------------- baseline support *)
 
-let stack_procs t = List.map (fun f -> f.rproc.R.rp_source.pc_name) t.stack
+let stack_procs t = List.map (fun f -> f.code.pc_name) t.stack
 
 let state_size t =
   let value_cost v = Image.value_size v in
-  let cells_cost slots =
-    Array.fold_left (fun acc cell -> acc + value_cost !cell) 0 slots
+  let cells_cost tbl =
+    Hashtbl.fold (fun _ cell acc -> acc + value_cost !cell) tbl 0
   in
   let heap_cost =
     Hashtbl.fold
@@ -588,7 +587,7 @@ let state_size t =
       t.heap 0
   in
   cells_cost t.globals
-  + List.fold_left (fun acc f -> acc + 8 + cells_cost f.slots) 0 t.stack
+  + List.fold_left (fun acc f -> acc + 8 + cells_cost f.cells) 0 t.stack
   + heap_cost
 
 (* Deep copy preserving cell aliasing (by-reference parameters share
@@ -603,12 +602,17 @@ let clone t ~io =
       cell_map := (cell, fresh) :: !cell_map;
       fresh
   in
-  let globals = Array.map copy_cell t.globals in
+  let copy_cells tbl =
+    let fresh = Hashtbl.create (Hashtbl.length tbl) in
+    Hashtbl.iter (fun name cell -> Hashtbl.replace fresh name (copy_cell cell)) tbl;
+    fresh
+  in
+  let globals = copy_cells t.globals in
   let stack =
     List.map
       (fun f ->
-        { rproc = f.rproc;
-          slots = Array.map copy_cell f.slots;
+        { code = f.code;
+          cells = copy_cells f.cells;
           pc = f.pc;
           ret_slot = Option.map copy_cell f.ret_slot })
       t.stack
@@ -620,14 +624,9 @@ let clone t ~io =
         { Image.elem_ty = block.elem_ty; cells = Array.copy block.cells })
     t.heap;
   { prog = t.prog;
-    rprog = t.rprog;
-    procs = t.procs;
-    proc_index = t.proc_index;
-    procs_local = t.procs_local;
+    code_table = t.code_table;
     globals;
-    global_index = t.global_index;
     stack;
-    depth = t.depth;
     heap;
     next_block = t.next_block;
     mstatus = t.mstatus;
@@ -642,56 +641,45 @@ let clone t ~io =
     tracer = None }
 
 let replace_proc_code t (code : Ir.proc_code) =
-  if not t.procs_local then begin
-    t.procs <- Array.copy t.procs;
-    t.proc_index <- Hashtbl.copy t.proc_index;
-    t.procs_local <- true
-  end;
-  let rproc =
-    R.resolve_proc ~global_index:t.global_index ~proc_index:t.proc_index code
-  in
-  match Hashtbl.find_opt t.proc_index code.pc_name with
-  | Some i -> t.procs.(i) <- rproc
-  | None ->
-    t.procs <- Array.append t.procs [| rproc |];
-    Hashtbl.replace t.proc_index code.pc_name (Array.length t.procs - 1)
+  Hashtbl.replace t.code_table code.pc_name code
 
-let create ?(status_attr = "normal") ~io ?resolved (prog : Ast.program) =
-  let rprog =
-    match resolved with
-    | Some r -> r
-    | None -> Resolve.resolve_program prog (Lower.lower_program prog)
+let create ?(status_attr = "normal") ~io ?code (prog : Ast.program) =
+  (* Copy the (shallow) code table even when shared: replace_proc_code
+     must stay local to one machine. The proc_code values are immutable
+     and shared. *)
+  let code_table =
+    match code with
+    | Some c -> Hashtbl.copy c
+    | None -> Lower.lower_program prog
   in
-  let globals =
-    Array.map (fun (_, ty) -> ref (Value.default_of_ty ty)) rprog.R.rg_globals
-  in
+  let globals = Hashtbl.create 16 in
   let t =
-    { prog; rprog; procs = rprog.rg_procs; proc_index = rprog.rg_proc_index;
-      procs_local = false; globals; global_index = rprog.rg_global_index;
-      stack = []; depth = 0; heap = Hashtbl.create 16;
+    { prog; code_table; globals; stack = []; heap = Hashtbl.create 16;
       next_block = 0; mstatus = Ready; pending_signal = false; handler = None;
       capture_records = []; restore_records = []; divulged_image = None;
       status_attr; io; instrs_executed = 0; tracer = None }
   in
-  let scratch_frame =
-    { rproc = R.scratch_proc; slots = [||]; pc = 0; ret_slot = None }
+  let scratch_code =
+    { Ir.pc_name = "<globals>"; pc_params = []; pc_ret = None; pc_locals = [];
+      pc_temps = []; pc_instrs = [||]; pc_labels = [] }
   in
-  Array.iteri
-    (fun i init ->
-      match init with
-      | Some re -> (
-        (* an initialiser that fails (e.g. forward reference) leaves the
-           type default in place, like the unresolved engine *)
-        try t.globals.(i) := eval t scratch_frame re with Runtime_error _ -> ())
-      | None -> ())
-    rprog.rg_global_inits;
-  (match Hashtbl.find_opt t.proc_index "main" with
-  | Some i ->
-    let rproc = t.procs.(i) in
-    if rproc.rp_source.pc_params = [] then begin
-      t.stack <- [ entry_frame rproc ];
-      t.depth <- 1
-    end
-    else t.mstatus <- Crashed "main must take no parameters"
+  let scratch_frame =
+    { code = scratch_code; cells = Hashtbl.create 1; pc = 0; ret_slot = None }
+  in
+  List.iter
+    (fun (g : Ast.global) ->
+      let v =
+        match g.ginit with
+        | Some init -> (
+          try eval t scratch_frame init
+          with Runtime_error _ -> Value.default_of_ty g.gty)
+        | None -> Value.default_of_ty g.gty
+      in
+      Hashtbl.replace globals g.gname (ref v))
+    prog.globals;
+  (match Hashtbl.find_opt code_table "main" with
+  | Some code when code.pc_params = [] ->
+    t.stack <- [ make_frame t None code [] None ]
+  | Some _ -> t.mstatus <- Crashed "main must take no parameters"
   | None -> t.mstatus <- Crashed "program has no main procedure");
   t

@@ -1,17 +1,11 @@
-(** The MiniProc abstract machine: one single-threaded module instance.
+(** The original AST-walking MiniProc engine, kept as the semantic
+    reference for the resolved engine in {!Machine}.
 
-    A machine owns its globals, heap and activation-record stack, and
-    executes {!Resolve}d slot-indexed instructions one [step] at a time
-    so an external scheduler (the software bus) can interleave modules,
-    deliver messages and signals, and account for simulated time. Frames
-    are flat [Value.t ref array]s; the interpreter loop does no string
-    hashing (the original hashtable engine survives as {!Ast_machine},
-    the semantic reference).
-
-    Signals are delivered between instructions, as in the paper: a
-    pending reconfiguration signal runs the installed handler procedure
-    (which sets [mh_reconfig]) before the next instruction of the
-    interrupted frame. *)
+    Hashtable-backed frames, raw [Ast.expr] evaluation. Used only by the
+    differential tests and the [bench -- interp] before/after
+    comparison; production code (the bus, baselines, drc) runs
+    {!Machine}. The two engines must agree on every observable:
+    prints, statuses, instruction counts, traces, error messages. *)
 
 type status =
   | Ready
@@ -26,15 +20,14 @@ type t
 val create :
   ?status_attr:string ->
   io:Io_intf.t ->
-  ?resolved:Resolve.program ->
+  ?code:(string, Ir.proc_code) Hashtbl.t ->
   Dr_lang.Ast.program ->
   t
 (** Build a machine for [program] (which must typecheck — call
     {!Dr_lang.Typecheck.check} first) and push a frame for [main].
     [status_attr] is what [mh_getstatus()] returns ("normal" by default,
-    "clone" for a module started as a restoration). [resolved] lets
-    callers share one compiled artifact across many machines (see
-    {!Cache}); without it the program is lowered and resolved here. *)
+    "clone" for a module started as a restoration). [code] lets callers
+    share one lowered table across many machines. *)
 
 val status : t -> status
 

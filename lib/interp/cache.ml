@@ -1,0 +1,52 @@
+(* Content-keyed program cache: parse/typecheck/transform happen
+   upstream, but lowering + resolution used to run once per
+   [Bus.register_program] — and every retry, supervisor restart or
+   repeated deployment of the same module text paid it again. The cache
+   keys on a digest of the pretty-printed program (stable across
+   re-parses of the same source and across structurally identical ASTs)
+   and stores the lowered table together with the resolved artifact, so
+   N instances of one module share a single compilation. *)
+
+type artifact = {
+  a_program : Dr_lang.Ast.program;
+  a_code : (string, Ir.proc_code) Hashtbl.t;
+  a_resolved : Resolve.program;
+}
+
+let table : (string, artifact) Hashtbl.t = Hashtbl.create 64
+
+let hit_count = ref 0
+let miss_count = ref 0
+
+(* Bound the cache so long-running sessions that compile thousands of
+   distinct programs (property tests, benches) cannot grow it without
+   limit; on overflow the whole table is dropped — correctness never
+   depends on a hit. *)
+let max_entries = 512
+
+let key (program : Dr_lang.Ast.program) =
+  Digest.string (Dr_lang.Pretty.program_to_string program)
+
+let prepare (program : Dr_lang.Ast.program) : artifact =
+  let k = key program in
+  match Hashtbl.find_opt table k with
+  | Some artifact ->
+    incr hit_count;
+    artifact
+  | None ->
+    incr miss_count;
+    let code = Lower.lower_program program in
+    let resolved = Resolve.resolve_program program code in
+    let artifact = { a_program = program; a_code = code; a_resolved = resolved } in
+    if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+    Hashtbl.replace table k artifact;
+    artifact
+
+let hits () = !hit_count
+let misses () = !miss_count
+let entries () = Hashtbl.length table
+
+let reset () =
+  Hashtbl.reset table;
+  hit_count := 0;
+  miss_count := 0

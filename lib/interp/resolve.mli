@@ -1,0 +1,95 @@
+(** Resolution pass: turns lowered {!Ir.proc_code} into slot-indexed
+    executable form, so the {!Machine} interpreter loop does zero string
+    hashing per instruction.
+
+    Frame variables (params, locals, temps) become indices into a flat
+    [Value.t ref array]; globals become indices into a per-program
+    global table; call targets become procedure indices. Expressions are
+    compiled once into closed {!rexpr} trees over those slots. The
+    resolved instruction array is index-aligned with the source
+    [Ir.proc_code], so program counters, jump targets, tracer output and
+    golden traces are unchanged.
+
+    Unresolvable names are represented, not rejected: they raise the
+    usual "unbound variable" runtime error only if execution reaches
+    them — identical to the lazy hashtable lookup they replace. *)
+
+type slot =
+  | Sframe of int       (** index into the frame's slot array *)
+  | Sglobal of int      (** index into the machine's global table *)
+  | Sunbound of string  (** unresolvable: raises only when touched *)
+
+type rexpr =
+  | Rconst of Dr_state.Value.t
+  | Rframe of int
+  | Rglobal of int
+  | Runbound of string
+  | Rindex of rexpr * rexpr
+  | Raddr of slot * rexpr
+  | Rneg of rexpr
+  | Rnot of rexpr
+  | Rbinop of Dr_lang.Ast.binop * rexpr * rexpr
+  | Rresidual_call of string
+  | Rbuiltin of string * rexpr list
+
+type rlvalue = Rlvar of slot | Rlindex of slot * rexpr
+
+type rarg = Raexpr of rexpr | Ralv of rlvalue
+
+type rcall_arg = {
+  ca_expr : rexpr;        (** evaluated in the caller for by-value *)
+  ca_cell : slot option;  (** the bare variable's cell, for by-ref *)
+}
+
+type rinstr =
+  | Rassign of rlvalue * rexpr
+  | Rcall of {
+      target : int;  (** pre-resolved proc index; -1 = look up by name *)
+      callee : string;
+      args : rcall_arg array;
+      ret_slot : slot option;
+    }
+  | Rreturn of rexpr option
+  | Rjump of int
+  | Rcjump of { cond : rexpr; if_false : int }
+  | Rprint of rexpr list
+  | Rsleep of rexpr
+  | Rbuiltin_stmt of string * rarg list
+  | Rskip
+
+type rproc = {
+  rp_source : Ir.proc_code;  (** index-aligned with [rp_instrs] *)
+  rp_params : (int * Dr_lang.Ast.param) array;
+  rp_defaults : Dr_state.Value.t array;
+  rp_slot_index : (string, int) Hashtbl.t;
+  rp_instrs : rinstr array;
+}
+
+type program = {
+  rg_source : Dr_lang.Ast.program;
+  rg_code : (string, Ir.proc_code) Hashtbl.t;
+  rg_procs : rproc array;
+  rg_proc_index : (string, int) Hashtbl.t;
+  rg_globals : (string * Dr_lang.Ast.ty) array;
+  rg_global_index : (string, int) Hashtbl.t;
+  rg_global_inits : rexpr option array;
+}
+
+val resolve_program :
+  Dr_lang.Ast.program -> (string, Ir.proc_code) Hashtbl.t -> program
+(** Resolve a whole lowered program. Global initialiser [k] only sees
+    globals declared before it (later references stay unbound), matching
+    the declaration-order evaluation of the unresolved engine. *)
+
+val resolve_proc :
+  global_index:(string, int) Hashtbl.t ->
+  proc_index:(string, int) Hashtbl.t ->
+  Ir.proc_code ->
+  rproc
+(** Resolve one procedure against an existing global/procedure index —
+    used by {!Machine.replace_proc_code} to compile hot-swapped code.
+    Calls to names absent from [proc_index] fall back to by-name lookup
+    at call time. *)
+
+val scratch_proc : rproc
+(** Empty procedure backing the scratch frame for global initialisers. *)

@@ -49,3 +49,42 @@ let write_i64 buf ~big v =
 let write_f64 buf ~big v = write_i64 buf ~big (Int64.bits_of_float v)
 
 let write_bytes buf s = Buffer.add_string buf s
+
+(* ------------------------------------------------------- buffer pool *)
+
+(* Small free-list of scratch buffers for the encode hot path: every
+   capture/divulge on the migration path used to allocate a fresh
+   [Buffer.t] per record. Buffers are cleared on take; oversized ones
+   (a huge image inflates the backing store permanently) are dropped
+   rather than retained. Encoding is single-threaded and non-reentrant
+   in this codebase, so a plain list suffices. *)
+
+let pool : Buffer.t list ref = ref []
+let pool_capacity = 8
+let pool_size = ref 0
+let retain_limit = 1 lsl 16
+
+let take_buffer () =
+  match !pool with
+  | buf :: rest ->
+    pool := rest;
+    decr pool_size;
+    Buffer.clear buf;
+    buf
+  | [] -> Buffer.create 256
+
+let return_buffer buf =
+  if Buffer.length buf <= retain_limit && !pool_size < pool_capacity then begin
+    pool := buf :: !pool;
+    incr pool_size
+  end
+
+let with_buffer f =
+  let buf = take_buffer () in
+  match f buf with
+  | v ->
+    return_buffer buf;
+    v
+  | exception e ->
+    return_buffer buf;
+    raise e

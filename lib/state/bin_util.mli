@@ -20,3 +20,10 @@ val write_i32 : Buffer.t -> big:bool -> int -> unit
 val write_i64 : Buffer.t -> big:bool -> int64 -> unit
 val write_f64 : Buffer.t -> big:bool -> float -> unit
 val write_bytes : Buffer.t -> string -> unit
+
+val with_buffer : (Buffer.t -> 'a) -> 'a
+(** Run [f] with a pooled scratch buffer (cleared before use, returned
+    to the pool afterwards, even on exceptions). The buffer must not
+    escape [f] — extract the contents with [Buffer.to_bytes] /
+    [Buffer.contents] before returning. Not reentrant-safe beyond the
+    pool simply handing out a fresh buffer when empty. *)

@@ -107,7 +107,7 @@ let read_value layout r : Value.t =
 let magic = "DRIMG1"
 
 let encode_with layout (image : Image.t) =
-  let buf = Buffer.create 256 in
+  Bin_util.with_buffer @@ fun buf ->
   Bin_util.write_bytes buf magic;
   write_string layout buf image.source_module;
   write_int layout buf (List.length image.records);
