@@ -16,7 +16,9 @@
 
    Part 4 (Chaos) measures reconfiguration success rate and completion
    latency under seeded fault injection (message loss, host crashes) —
-   the transactional-rollback experiment of EXPERIMENTS.md.
+   the transactional-rollback experiment of EXPERIMENTS.md — plus an
+   exactly-once sweep with the reliable delivery layer enabled (loss
+   0-20%, six fault scenarios); emits BENCH_chaos.json.
 
    Part 5 (Interp) compares the resolved slot-indexed engine against
    the original AST-walking engine (instrs/sec on the D1 hot loop,
@@ -29,8 +31,9 @@
              dune exec bench/main.exe -- chaos    (fault-injection suite)
              dune exec bench/main.exe -- interp   (engine comparison)
 
-   "scaling" and "interp" accept --quick (small N, CI smoke); both emit
-   machine-readable BENCH_*.json artifacts next to bench_output.txt. *)
+   "scaling", "chaos" and "interp" accept --quick (fewer trials/seeds,
+   CI smoke); all three emit machine-readable BENCH_*.json artifacts
+   next to bench_output.txt. *)
 
 open Bechamel
 open Toolkit
@@ -284,5 +287,5 @@ let () =
   if what = "scaling" then
     if quick then Scaling.all ~sizes:[ 10; 50 ] ~events:20_000 ()
     else Scaling.all ();
-  if what = "chaos" then Chaos.all ();
+  if what = "chaos" then Chaos.all ~quick ();
   if what = "interp" then Interp_bench.all ~quick ()

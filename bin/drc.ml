@@ -252,7 +252,18 @@ let faults_arg =
         ~doc:
           "Seeded fault-injection plan: comma-separated clauses seed=N, \
            loss=P, dup=P (optionally scoped loss@SRC>DST=P with * wildcards), \
-           jitter=J, crash=HOST@T, recover=HOST@T, kill=INSTANCE@T.")
+           jitter=J, crash=HOST@T, recover=HOST@T, kill=INSTANCE@T, \
+           corrupt=INSTANCE@T (corrupt the next state image captured from \
+           INSTANCE after time T).")
+
+let reliable_arg =
+  Arg.(
+    value & flag
+    & info [ "reliable" ]
+        ~doc:
+          "Layer reliable delivery (sequencing, acknowledgement, \
+           retransmission) over every route, masking injected loss and \
+           duplication.")
 
 let timeline_arg =
   Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII timeline of the run.")
@@ -269,7 +280,7 @@ let parse_hosts specs =
     specs
 
 let run_cmd =
-  let run mil srcs app until hosts migrate faults trace timeline =
+  let run mil srcs app until hosts migrate faults reliable trace timeline =
     let system = match load_system mil srcs with Ok s -> s | Error e -> or_die (Error e) in
     let hosts = parse_hosts hosts in
     let bus =
@@ -283,6 +294,10 @@ let run_cmd =
       match Dr_bus.Faults.parse_plan spec with
       | Ok (seed, plan) -> Dr_bus.Faults.install bus ~seed plan
       | Error e -> or_die (Error e)));
+    if reliable then begin
+      let r = Dr_bus.Reliable.attach bus in
+      Dr_bus.Reliable.enable_all r
+    end;
     (match migrate with
     | None -> Dr_bus.Bus.run ~until bus
     | Some spec -> (
@@ -307,7 +322,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Deploy an application and simulate it.")
     Term.(
       const run $ mil_arg $ srcs_arg $ app_arg $ until_arg $ hosts_arg
-      $ migrate_arg $ faults_arg $ trace_arg $ timeline_arg)
+      $ migrate_arg $ faults_arg $ reliable_arg $ trace_arg $ timeline_arg)
 
 let inspect_cmd =
   let run file =

@@ -54,6 +54,18 @@ type fault_hooks = {
   fh_jitter : unit -> float;
 }
 
+type transport = {
+  tr_send : src:endpoint -> dst:endpoint -> Value.t -> bool;
+  tr_rename : old_instance:string -> new_instance:string -> fence:bool -> unit;
+}
+
+type quarantined = {
+  q_time : float;
+  q_instance : string;
+  q_reason : string;
+  q_byte_size : int;
+}
+
 type t = {
   engine : Engine.t;
   trace : Trace.t;
@@ -66,6 +78,10 @@ type t = {
   route_index : (endpoint, endpoint list) Hashtbl.t;
   mutable fault_hooks : fault_hooks option;
   down_hosts : (string, unit) Hashtbl.t;
+  mutable transport : transport option;
+  mutable activity_hook : (string -> unit) option;
+  corrupt_images : (string, unit) Hashtbl.t;
+  mutable quarantine_rev : quarantined list;
 }
 
 let create ?(params = default_params) ~hosts () =
@@ -79,7 +95,11 @@ let create ?(params = default_params) ~hosts () =
     routes_rev = [];
     route_index = Hashtbl.create 64;
     fault_hooks = None;
-    down_hosts = Hashtbl.create 4 }
+    down_hosts = Hashtbl.create 4;
+    transport = None;
+    activity_hook = None;
+    corrupt_images = Hashtbl.create 4;
+    quarantine_rev = [] }
 
 let engine t = t.engine
 let trace t = t.trace
@@ -106,6 +126,49 @@ let set_fault_hooks t hooks = t.fault_hooks <- Some hooks
 let clear_fault_hooks t = t.fault_hooks <- None
 
 let host_is_down t name = Hashtbl.mem t.down_hosts name
+
+(* ----------------------------------------------------------- transport *)
+
+(* A transport intercepts [route_message]'s per-destination sends (the
+   reliable-delivery layer installs one); [None] is the classic
+   fire-and-forget bus, byte-for-byte. *)
+let set_transport t transport = t.transport <- Some transport
+let clear_transport t = t.transport <- None
+let has_transport t = Option.is_some t.transport
+
+let transport_rename t ~old_instance ~new_instance ~fence =
+  match t.transport with
+  | None -> ()
+  | Some tr -> tr.tr_rename ~old_instance ~new_instance ~fence
+
+(* Failure detectors subscribe here: called with the sending instance
+   every time it emits a message. No trace entry — liveness observation
+   must not perturb the golden traces. *)
+let on_activity t hook = t.activity_hook <- hook
+
+(* -------------------------------------------------- image quarantine *)
+
+let arm_image_corruption t ~instance =
+  Hashtbl.replace t.corrupt_images instance ();
+  record t "fault" "image corruption armed for %s" instance
+
+let consume_image_corruption t ~instance =
+  if Hashtbl.mem t.corrupt_images instance then begin
+    Hashtbl.remove t.corrupt_images instance;
+    record t "fault" "injected image corruption: %s" instance;
+    true
+  end
+  else false
+
+let quarantine_image t ~instance ~reason ~byte_size =
+  t.quarantine_rev <-
+    { q_time = now t; q_instance = instance; q_reason = reason;
+      q_byte_size = byte_size }
+    :: t.quarantine_rev;
+  record t "quarantine" "image from %s quarantined (%d byte(s)): %s" instance
+    byte_size reason
+
+let quarantined t = List.rev t.quarantine_rev
 
 let crash_process t ~instance ~reason =
   match find_proc t instance with
@@ -364,37 +427,95 @@ let deliver_or_redirect t ~src ~dst ~peers value =
 
 let route_message t p iface value =
   let src = (p.p_instance, iface) in
+  (match t.activity_hook with
+  | Some hook -> hook p.p_instance
+  | None -> ());
   let dsts = routes_from t src in
   if dsts = [] then
     record t "drop" "%s.%s has no binding; message discarded" p.p_instance iface
   else
     List.iter
       (fun dst ->
-        let dst_host =
-          match find_proc t (fst dst) with
-          | Some dp -> dp.p_host
-          | None -> p.p_host
+        let handled =
+          match t.transport with
+          | Some tr -> tr.tr_send ~src ~dst value
+          | None -> false
         in
-        let delay = latency t p.p_host dst_host in
-        let send ~delay =
-          Engine.schedule t.engine ~delay (fun () ->
-              deliver_or_redirect t ~src ~dst ~peers:dsts value)
-        in
-        match t.fault_hooks with
-        | None -> send ~delay
-        | Some hooks -> (
-          let delay = delay +. hooks.fh_jitter () in
-          match hooks.fh_message ~src ~dst with
-          | Deliver -> send ~delay
-          | Drop ->
-            record t "fault" "injected loss: %s.%s -> %s.%s" (fst src)
-              (snd src) (fst dst) (snd dst)
-          | Duplicate ->
-            record t "fault" "injected duplicate: %s.%s -> %s.%s" (fst src)
-              (snd src) (fst dst) (snd dst);
-            send ~delay;
-            send ~delay))
+        if not handled then begin
+          let dst_host =
+            match find_proc t (fst dst) with
+            | Some dp -> dp.p_host
+            | None -> p.p_host
+          in
+          let delay = latency t p.p_host dst_host in
+          let send ~delay =
+            Engine.schedule t.engine ~delay (fun () ->
+                deliver_or_redirect t ~src ~dst ~peers:dsts value)
+          in
+          match t.fault_hooks with
+          | None -> send ~delay
+          | Some hooks -> (
+            let delay = delay +. hooks.fh_jitter () in
+            match hooks.fh_message ~src ~dst with
+            | Deliver -> send ~delay
+            | Drop ->
+              record t "fault" "injected loss: %s.%s -> %s.%s" (fst src)
+                (snd src) (fst dst) (snd dst)
+            | Duplicate ->
+              record t "fault" "injected duplicate: %s.%s -> %s.%s" (fst src)
+                (snd src) (fst dst) (snd dst);
+              send ~delay;
+              send ~delay)
+        end)
       dsts
+
+(* A raw timed hop between two endpoints, subject to the fault hooks but
+   carrying a callback rather than a queued value — the primitive the
+   reliable layer's frames, acks and the detector's heartbeats ride on.
+   [k] runs at the receiving end after the (possibly jittered) latency;
+   a [Drop] decision consumes a PRNG draw and records the loss exactly
+   like an application message. *)
+let transmit t ~src ~dst k =
+  let host_of (instance, _) =
+    Option.map (fun p -> p.p_host) (find_proc t instance)
+  in
+  let delay =
+    match (host_of src, host_of dst) with
+    | Some a, Some b -> latency t a b
+    | _ -> t.bus_params.local_latency
+  in
+  let send ~delay = Engine.schedule t.engine ~delay k in
+  match t.fault_hooks with
+  | None -> send ~delay
+  | Some hooks -> (
+    let delay = delay +. hooks.fh_jitter () in
+    match hooks.fh_message ~src ~dst with
+    | Deliver -> send ~delay
+    | Drop ->
+      record t "fault" "injected loss: %s.%s -> %s.%s" (fst src) (snd src)
+        (fst dst) (snd dst)
+    | Duplicate ->
+      record t "fault" "injected duplicate: %s.%s -> %s.%s" (fst src) (snd src)
+        (fst dst) (snd dst);
+      send ~delay;
+      send ~delay)
+
+(* Hand a value straight to a destination queue with no latency, no
+   fault decision and no trace on success: the reliable layer calls this
+   at frame-arrival time, after [transmit] has already charged the hop.
+   Returns [false] when the destination is gone or its host is down, so
+   the caller can withhold the ack and let retransmission recover. *)
+let deliver_now t ~dst value =
+  let instance, iface = dst in
+  match find_proc t instance with
+  | None -> false
+  | Some p ->
+    if host_is_down t p.p_host.host_name then false
+    else begin
+      Queue.add value (queue_of p iface);
+      wake_endpoint t p iface;
+      true
+    end
 
 (* -------------------------------------------------------------- spawn *)
 
@@ -627,13 +748,22 @@ let signal_reconfig t ~instance =
 let on_divulge t ~instance callback =
   match find_proc t instance with
   | None ->
-    record t "state" "divulge callback for dead instance %s discarded" instance
+    (* idempotency parity with [wake]/[kill]: arming a callback on a
+       removed instance is a quiet no-op, but an auditable one *)
+    record t "audit" "divulge callback for dead instance %s discarded" instance
   | Some p -> (
     match p.p_divulged with
     | image :: rest ->
       p.p_divulged <- rest;
       callback image
-    | [] -> p.p_on_divulge <- Some callback)
+    | [] -> (
+      match Machine.status p.p_machine with
+      | Machine.Halted | Machine.Crashed _ ->
+        (* a stopped machine will never divulge; parking the callback
+           would wait forever — discard it now, auditable *)
+        record t "audit" "divulge callback for %s discarded: already stopped"
+          instance
+      | _ -> p.p_on_divulge <- Some callback))
 
 let cancel_divulge t ~instance =
   match find_proc t instance with
@@ -654,14 +784,26 @@ let take_divulged t ~instance =
       Some image
     | [] -> None)
 
-let deposit_state t ~instance image =
+let deposit_state t ~instance ?expect image =
   match find_proc t instance with
   | None ->
-    record t "state" "state image for dead instance %s discarded" instance
-  | Some p ->
-    record t "state" "state image deposited into %s" instance;
-    Machine.feed_image p.p_machine image;
-    schedule_quantum t p ~delay:0.0
+    record t "audit" "state image for dead instance %s discarded" instance
+  | Some p -> (
+    match Machine.status p.p_machine with
+    | Machine.Halted | Machine.Crashed _ ->
+      record t "audit" "state image for %s discarded: already stopped" instance
+    | _ -> (
+      match expect with
+      | Some digest when not (Int64.equal digest (Image.digest image)) ->
+        quarantine_image t ~instance
+          ~reason:
+            (Printf.sprintf "digest mismatch (expected %016Lx, got %016Lx)"
+               digest (Image.digest image))
+          ~byte_size:(Image.byte_size image)
+      | _ ->
+        record t "state" "state image deposited into %s" instance;
+        Machine.feed_image p.p_machine image;
+        schedule_quantum t p ~delay:0.0))
 
 let run ?until ?max_events t = Engine.run ?until ?max_events t.engine
 

@@ -148,6 +148,75 @@ val crash_process : t -> instance:string -> reason:string -> unit
 (** Injected process crash (kill -9): the machine transitions to
     [Crashed reason]; the instance stays in the roster until killed. *)
 
+(** {1 Transport interception}
+
+    An installed transport (the reliable-delivery layer,
+    {!Dr_bus.Reliable}) sees every per-destination send of
+    [route_message] before the default fire-and-forget path runs.
+    Returning [true] from [tr_send] claims the message; [false] falls
+    through to the classic path, byte-for-byte. *)
+
+type transport = {
+  tr_send : src:endpoint -> dst:endpoint -> Dr_state.Value.t -> bool;
+  tr_rename : old_instance:string -> new_instance:string -> fence:bool -> unit;
+      (** re-key per-route delivery state when a reconfiguration renames
+          an instance; [fence = true] additionally invalidates frames
+          sent under the old name (generation fencing) *)
+}
+
+val set_transport : t -> transport -> unit
+
+val clear_transport : t -> unit
+
+val has_transport : t -> bool
+
+val transport_rename :
+  t -> old_instance:string -> new_instance:string -> fence:bool -> unit
+(** Forward a rename to the installed transport; no-op without one. *)
+
+val transmit :
+  t -> src:endpoint -> dst:endpoint -> (unit -> unit) -> unit
+(** One raw timed hop: run the callback at the receiving end after the
+    inter-host latency, subject to the fault hooks (a [Drop] decision
+    consumes a PRNG draw and records the loss like any message). The
+    primitive under reliable frames, acks and detector heartbeats. *)
+
+val deliver_now : t -> dst:endpoint -> Dr_state.Value.t -> bool
+(** Enqueue a value at [dst] immediately — no latency, no fault
+    decision, no trace on success. [false] when the destination is gone
+    or its host is down (the reliable layer then withholds its ack). *)
+
+val on_activity : t -> (string -> unit) option -> unit
+(** Subscribe to message-send activity: the hook is called with the
+    sending instance's name on every send. Liveness evidence for
+    {!Dr_reconfig.Detector}; never traces. *)
+
+(** {1 Image quarantine}
+
+    State-image integrity support: the fault plane can arm a one-shot
+    corruption for an instance's next capture, and any layer that
+    detects a bad image (checksum or digest mismatch) quarantines it
+    here with a ["quarantine"] trace entry instead of restoring it. *)
+
+type quarantined = {
+  q_time : float;
+  q_instance : string;
+  q_reason : string;
+  q_byte_size : int;
+}
+
+val arm_image_corruption : t -> instance:string -> unit
+
+val consume_image_corruption : t -> instance:string -> bool
+(** [true] exactly once after an arm: the caller must corrupt the
+    in-flight encoded image. Records the injection as a ["fault"]. *)
+
+val quarantine_image :
+  t -> instance:string -> reason:string -> byte_size:int -> unit
+
+val quarantined : t -> quarantined list
+(** Quarantine log, oldest first. *)
+
 (** {1 Routes and queues} *)
 
 val add_route : t -> src:endpoint -> dst:endpoint -> unit
@@ -188,7 +257,10 @@ val signal_reconfig : t -> instance:string -> unit
 (** Deliver the reconfiguration signal (SIGHUP in the paper). *)
 
 val on_divulge : t -> instance:string -> (Dr_state.Image.t -> unit) -> unit
-(** One-shot callback invoked when the instance runs [mh_encode]. *)
+(** One-shot callback invoked when the instance runs [mh_encode]. On a
+    removed or already-stopped instance the callback would never fire;
+    it is discarded with an ["audit"] trace entry (parity with
+    {!wake}). *)
 
 val cancel_divulge : t -> instance:string -> unit
 (** Disarm a pending {!on_divulge} callback (rollback of a script whose
@@ -197,8 +269,13 @@ val cancel_divulge : t -> instance:string -> unit
 
 val take_divulged : t -> instance:string -> Dr_state.Image.t option
 
-val deposit_state : t -> instance:string -> Dr_state.Image.t -> unit
-(** Hand a state image to a (possibly blocked) [mh_decode]. *)
+val deposit_state :
+  t -> instance:string -> ?expect:int64 -> Dr_state.Image.t -> unit
+(** Hand a state image to a (possibly blocked) [mh_decode]. On a
+    removed or stopped instance, records an ["audit"] trace entry
+    instead (parity with {!wake}). When [expect] is given, the image's
+    {!Dr_state.Image.digest} is verified first; a mismatch quarantines
+    the image ({!quarantine_image}) and nothing is fed. *)
 
 (** {1 Running} *)
 

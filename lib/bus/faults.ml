@@ -5,6 +5,7 @@ type event =
   | Host_crash of string
   | Host_recover of string
   | Process_crash of string
+  | Image_corrupt of string
 
 type rule = {
   r_src : string option;
@@ -38,6 +39,7 @@ let fire bus = function
   | Host_recover h -> Bus.recover_host bus ~host:h
   | Process_crash i ->
     Bus.crash_process bus ~instance:i ~reason:"injected crash"
+  | Image_corrupt i -> Bus.arm_image_corruption bus ~instance:i
 
 let install bus ~seed p =
   List.iter
@@ -81,9 +83,14 @@ let parse_at what v =
   | Some i -> (
     let name = String.sub v 0 i in
     let time = String.sub v (i + 1) (String.length v - i - 1) in
-    match float_of_string_opt time with
-    | Some t when name <> "" -> Ok (name, t)
-    | Some _ | None -> Error (Printf.sprintf "bad %s %S: expected name@time" what v))
+    if name = "" then
+      Error (Printf.sprintf "bad %s %S: expected name@time" what v)
+    else
+      match float_of_string_opt time with
+      | None -> Error (Printf.sprintf "bad %s %S: expected name@time" what v)
+      | Some t when t < 0.0 ->
+        Error (Printf.sprintf "bad %s %S: time must be non-negative" what v)
+      | Some t -> Ok (name, t))
 
 let parse_scope scope =
   (* "src>dst" with "*" wildcards *)
@@ -122,8 +129,8 @@ let parse_plan spec =
         (* merge clauses with the same scope (loss=…,dup=… is one rule:
            only the first matching rule is consulted per message) *)
         let same r = r.r_src = src && r.r_dst = dst in
-        let rules =
-          if List.exists same p.fp_rules then
+        if List.exists same p.fp_rules then
+          let rules =
             List.map
               (fun r ->
                 if same r then
@@ -132,9 +139,61 @@ let parse_plan spec =
                     r_dup = Float.max r.r_dup dup }
                 else r)
               p.fp_rules
-          else p.fp_rules @ [ rule ?src ?dst ~loss ~dup () ]
-        in
-        Ok (seed, { p with fp_rules = rules })
+          in
+          Ok (seed, { p with fp_rules = rules })
+        else begin
+          (* first match wins, so a new rule whose scope an earlier,
+             broader rule already covers can never fire — reject the
+             dead clause instead of silently ignoring it *)
+          let covers a b = match a with None -> true | Some _ -> a = b in
+          let scope_str s d =
+            (match s with None -> "*" | Some x -> x)
+            ^ ">"
+            ^ (match d with None -> "*" | Some x -> x)
+          in
+          match
+            List.find_opt
+              (fun r -> covers r.r_src src && covers r.r_dst dst)
+              p.fp_rules
+          with
+          | Some r ->
+            Error
+              (Printf.sprintf
+                 "rule for %s is shadowed by the earlier rule for %s (first \
+                  match wins; put the narrower scope first)"
+                 (scope_str src dst)
+                 (scope_str r.r_src r.r_dst))
+          | None ->
+            Ok
+              (seed, { p with fp_rules = p.fp_rules @ [ rule ?src ?dst ~loss ~dup () ] })
+        end
+      in
+      let add_event what name time ev =
+        if
+          List.exists
+            (fun (t0, e0) -> Float.equal t0 time && e0 = ev)
+            p.fp_events
+        then Error (Printf.sprintf "duplicate %s clause %s@%g" what name time)
+        else
+          let conflicting =
+            match ev with
+            | Host_crash h ->
+              List.exists
+                (fun (t0, e0) -> Float.equal t0 time && e0 = Host_recover h)
+                p.fp_events
+            | Host_recover h ->
+              List.exists
+                (fun (t0, e0) -> Float.equal t0 time && e0 = Host_crash h)
+                p.fp_events
+            | Process_crash _ | Image_corrupt _ -> false
+          in
+          if conflicting then
+            Error
+              (Printf.sprintf
+                 "conflicting clauses: crash and recover of %s at the same \
+                  time %g"
+                 name time)
+          else Ok (seed, { p with fp_events = p.fp_events @ [ (time, ev) ] })
       in
       match key with
       | "seed" -> (
@@ -152,13 +211,16 @@ let parse_plan spec =
         Ok (seed, { p with fp_jitter = f })
       | "crash" ->
         let* h, t = parse_at "crash" value in
-        Ok (seed, { p with fp_events = p.fp_events @ [ (t, Host_crash h) ] })
+        add_event "crash" h t (Host_crash h)
       | "recover" ->
         let* h, t = parse_at "recover" value in
-        Ok (seed, { p with fp_events = p.fp_events @ [ (t, Host_recover h) ] })
+        add_event "recover" h t (Host_recover h)
       | "kill" ->
         let* i, t = parse_at "kill" value in
-        Ok (seed, { p with fp_events = p.fp_events @ [ (t, Process_crash i) ] })
+        add_event "kill" i t (Process_crash i)
+      | "corrupt" ->
+        let* i, t = parse_at "corrupt" value in
+        add_event "corrupt" i t (Image_corrupt i)
       | _ -> (
         match scoped "loss", scoped "dup" with
         | Some scope, _ ->

@@ -16,6 +16,10 @@ type event =
   | Host_crash of string  (** mark the host down; crash its residents *)
   | Host_recover of string
   | Process_crash of string  (** kill -9 one instance *)
+  | Image_corrupt of string
+      (** arm a one-shot corruption of the instance's next captured
+          state image ({!Bus.arm_image_corruption}); the codec's
+          checksum catches it and the image is quarantined *)
 
 type rule = {
   r_src : string option;  (** match the sending instance; [None] = any *)
@@ -50,4 +54,11 @@ val parse_plan : string -> (int * plan, string) result
 (** Parse a command-line fault specification: comma-separated clauses
     [seed=N], [loss=P], [dup=P] (optionally scoped [loss@src>dst=P] with
     [*] wildcards), [jitter=J], [crash=host@T], [recover=host@T],
-    [kill=instance@T]. Returns the seed (default 0) and the plan. *)
+    [kill=instance@T], [corrupt=instance@T]. Returns the seed
+    (default 0) and the plan.
+
+    Malformed or contradictory specifications are rejected with a
+    descriptive error: negative [@T] times, duplicate timed clauses,
+    a crash and recover of the same host at the same instant, and a
+    loss/dup rule whose scope an earlier, broader rule already covers
+    (first match wins, so the later clause could never fire). *)

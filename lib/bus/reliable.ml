@@ -1,0 +1,304 @@
+(* Opt-in per-route reliable delivery.
+
+   A channel is the unit of reliability: one (source endpoint,
+   destination endpoint) pair with sender state (next sequence number,
+   unacked frames, retransmission timer with exponential backoff on
+   virtual time) and receiver state (next expected sequence number,
+   out-of-order buffer, duplicate/fence counters). Frames and
+   cumulative acks ride [Bus.transmit], so every hop still pays
+   latency, draws a fault decision from the seeded PRNG, and records
+   injected loss exactly like an unreliable message — Drop/Duplicate
+   are masked by the protocol, never bypassed.
+
+   Epoch fencing: a channel carries an epoch, bumped when a rename is
+   applied with [fence = true] (a supervisor replacing a merely
+   *suspected* instance). Frames sent under an older epoch are
+   discarded on arrival, so a false-positive restart cannot let the
+   displaced generation's in-flight output land twice: the new epoch's
+   retransmissions are the only frames that count.
+
+   All protocol events trace under the ["retx"] category; the layer
+   installed with nothing enabled leaves the bus byte-for-byte
+   identical (pinned by the golden-trace tests). *)
+
+module Engine = Dr_sim.Engine
+
+type params = {
+  rto_initial : float;
+  rto_backoff : float;
+  rto_max : float;
+}
+
+let default_params = { rto_initial = 4.0; rto_backoff = 2.0; rto_max = 16.0 }
+
+type channel = {
+  mutable ch_src : Bus.endpoint;
+  mutable ch_dst : Bus.endpoint;
+  mutable ch_epoch : int;
+  (* sender *)
+  mutable ch_next_seq : int;
+  ch_unacked : (int, Dr_state.Value.t) Hashtbl.t;
+  mutable ch_lowest_unacked : int;
+  mutable ch_rto : float;
+  mutable ch_timer_armed : bool;
+  mutable ch_timer_gen : int;
+  mutable ch_sent : int;
+  mutable ch_retx : int;
+  (* receiver *)
+  mutable ch_next_expected : int;
+  ch_ooo : (int, Dr_state.Value.t) Hashtbl.t;
+  mutable ch_delivered : int;
+  mutable ch_dups : int;
+  mutable ch_fenced : int;
+}
+
+type t = {
+  bus : Bus.t;
+  p : params;
+  channels : (Bus.endpoint * Bus.endpoint, channel) Hashtbl.t;
+  mutable cover_all : bool;
+}
+
+let record t fmt =
+  Format.kasprintf
+    (fun detail ->
+      Dr_sim.Trace.record (Bus.trace t.bus) ~time:(Bus.now t.bus)
+        ~category:"retx" ~detail)
+    fmt
+
+let ep_pair src dst =
+  Printf.sprintf "%s.%s -> %s.%s" (fst src) (snd src) (fst dst) (snd dst)
+
+let create_channel t ~src ~dst =
+  let ch =
+    { ch_src = src;
+      ch_dst = dst;
+      ch_epoch = 0;
+      ch_next_seq = 0;
+      ch_unacked = Hashtbl.create 8;
+      ch_lowest_unacked = 0;
+      ch_rto = t.p.rto_initial;
+      ch_timer_armed = false;
+      ch_timer_gen = 0;
+      ch_sent = 0;
+      ch_retx = 0;
+      ch_next_expected = 0;
+      ch_ooo = Hashtbl.create 8;
+      ch_delivered = 0;
+      ch_dups = 0;
+      ch_fenced = 0 }
+  in
+  Hashtbl.replace t.channels (src, dst) ch;
+  record t "channel %s opened" (ep_pair src dst);
+  ch
+
+(* ----------------------------------------------------------- receiver *)
+
+(* Cumulative ack: "everything below [ch_next_expected] arrived". Acks
+   need no epoch — they report receiver progress, which only moves
+   forward and is meaningful to whichever generation holds the sender
+   state after a rename. *)
+let on_ack t ch ~acked =
+  ignore t;
+  if acked >= ch.ch_lowest_unacked then begin
+    for seq = ch.ch_lowest_unacked to acked do
+      Hashtbl.remove ch.ch_unacked seq
+    done;
+    ch.ch_lowest_unacked <- acked + 1;
+    if Hashtbl.length ch.ch_unacked = 0 then begin
+      (* everything out is acked: disarm the timer and forget the
+         backoff — the next fresh frame starts from a clean RTO *)
+      ch.ch_timer_gen <- ch.ch_timer_gen + 1;
+      ch.ch_timer_armed <- false;
+      ch.ch_rto <- t.p.rto_initial
+    end
+  end
+
+let send_ack t ch =
+  let acked = ch.ch_next_expected - 1 in
+  Bus.transmit t.bus ~src:ch.ch_dst ~dst:ch.ch_src (fun () ->
+      on_ack t ch ~acked)
+
+let rec drain_in_order t ch =
+  match Hashtbl.find_opt ch.ch_ooo ch.ch_next_expected with
+  | None -> ()
+  | Some value ->
+    if Bus.deliver_now t.bus ~dst:ch.ch_dst value then begin
+      Hashtbl.remove ch.ch_ooo ch.ch_next_expected;
+      ch.ch_next_expected <- ch.ch_next_expected + 1;
+      ch.ch_delivered <- ch.ch_delivered + 1;
+      drain_in_order t ch
+    end
+
+let on_data t ch ~epoch ~seq value =
+  if epoch <> ch.ch_epoch then begin
+    ch.ch_fenced <- ch.ch_fenced + 1;
+    record t "fenced stale frame on %s: epoch %d (current %d), seq %d"
+      (ep_pair ch.ch_src ch.ch_dst) epoch ch.ch_epoch seq
+  end
+  else if seq < ch.ch_next_expected then begin
+    (* already delivered: a retransmission whose original got through,
+       or an injected duplicate — suppress, but re-ack so the sender
+       stops resending *)
+    ch.ch_dups <- ch.ch_dups + 1;
+    record t "dup suppressed on %s: seq %d (expected %d)"
+      (ep_pair ch.ch_src ch.ch_dst) seq ch.ch_next_expected;
+    send_ack t ch
+  end
+  else if seq = ch.ch_next_expected then begin
+    if Bus.deliver_now t.bus ~dst:ch.ch_dst value then begin
+      ch.ch_next_expected <- seq + 1;
+      ch.ch_delivered <- ch.ch_delivered + 1;
+      drain_in_order t ch;
+      send_ack t ch
+    end
+    (* destination gone or host down: no ack — the sender's timer keeps
+       the frame alive until the destination is back (or renamed) *)
+  end
+  else begin
+    if not (Hashtbl.mem ch.ch_ooo seq) then Hashtbl.replace ch.ch_ooo seq value;
+    send_ack t ch
+  end
+
+(* ------------------------------------------------------------- sender *)
+
+let send_frame t ch ~seq value =
+  let epoch = ch.ch_epoch in
+  Bus.transmit t.bus ~src:ch.ch_src ~dst:ch.ch_dst (fun () ->
+      on_data t ch ~epoch ~seq value)
+
+let rec arm_timer t ch =
+  if not ch.ch_timer_armed then begin
+    ch.ch_timer_armed <- true;
+    let gen = ch.ch_timer_gen in
+    Engine.schedule (Bus.engine t.bus) ~delay:ch.ch_rto (fun () ->
+        on_timeout t ch ~gen)
+  end
+
+and on_timeout t ch ~gen =
+  if gen = ch.ch_timer_gen && ch.ch_timer_armed then begin
+    ch.ch_timer_armed <- false;
+    if Hashtbl.length ch.ch_unacked > 0 then begin
+      for seq = ch.ch_lowest_unacked to ch.ch_next_seq - 1 do
+        match Hashtbl.find_opt ch.ch_unacked seq with
+        | None -> ()
+        | Some value ->
+          ch.ch_retx <- ch.ch_retx + 1;
+          record t "retransmit on %s: seq %d (epoch %d, rto %.2f)"
+            (ep_pair ch.ch_src ch.ch_dst) seq ch.ch_epoch ch.ch_rto;
+          send_frame t ch ~seq value
+      done;
+      ch.ch_rto <- Float.min t.p.rto_max (ch.ch_rto *. t.p.rto_backoff);
+      arm_timer t ch
+    end
+  end
+
+let send t ~src ~dst value =
+  let ch =
+    match Hashtbl.find_opt t.channels (src, dst) with
+    | Some ch -> Some ch
+    | None -> if t.cover_all then Some (create_channel t ~src ~dst) else None
+  in
+  match ch with
+  | None -> false
+  | Some ch ->
+    let seq = ch.ch_next_seq in
+    ch.ch_next_seq <- seq + 1;
+    Hashtbl.replace ch.ch_unacked seq value;
+    ch.ch_sent <- ch.ch_sent + 1;
+    send_frame t ch ~seq value;
+    arm_timer t ch;
+    true
+
+(* ------------------------------------------------------------- rename *)
+
+(* A reconfiguration renamed [old_instance] to [new_instance]: re-key
+   every channel whose endpoints mention the old name, keeping the full
+   sequence state, so the clone neither replays nor skips in-flight
+   messages. With [fence = true] the epoch is also bumped: frames the
+   displaced generation already put on the wire arrive with the old
+   epoch and are discarded; the unacked ones are retransmitted under
+   the new epoch (and new name) by the surviving timer. *)
+let rename t ~old_instance ~new_instance ~fence =
+  let affected =
+    Hashtbl.fold
+      (fun key ch acc ->
+        if
+          String.equal (fst (fst key)) old_instance
+          || String.equal (fst (snd key)) old_instance
+        then (key, ch) :: acc
+        else acc)
+      t.channels []
+  in
+  if affected <> [] then begin
+    List.iter
+      (fun (key, ch) ->
+        Hashtbl.remove t.channels key;
+        let fix (instance, iface) =
+          if String.equal instance old_instance then (new_instance, iface)
+          else (instance, iface)
+        in
+        ch.ch_src <- fix ch.ch_src;
+        ch.ch_dst <- fix ch.ch_dst;
+        if fence then ch.ch_epoch <- ch.ch_epoch + 1;
+        Hashtbl.replace t.channels (ch.ch_src, ch.ch_dst) ch)
+      affected;
+    record t "%d channel(s) of %s transferred to %s%s" (List.length affected)
+      old_instance new_instance
+      (if fence then " (fenced)" else "")
+  end
+
+(* -------------------------------------------------------------- admin *)
+
+let attach ?(params = default_params) bus =
+  let t = { bus; p = params; channels = Hashtbl.create 32; cover_all = false } in
+  Bus.set_transport bus
+    { Bus.tr_send = (fun ~src ~dst value -> send t ~src ~dst value);
+      tr_rename =
+        (fun ~old_instance ~new_instance ~fence ->
+          rename t ~old_instance ~new_instance ~fence) };
+  t
+
+let detach t = Bus.clear_transport t.bus
+
+let enable_all t = t.cover_all <- true
+
+let enable_route t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some _ -> ()
+  | None -> ignore (create_channel t ~src ~dst)
+
+(* -------------------------------------------------------------- stats *)
+
+type stats = {
+  st_src : Bus.endpoint;
+  st_dst : Bus.endpoint;
+  st_epoch : int;
+  st_sent : int;
+  st_retx : int;
+  st_delivered : int;
+  st_dups : int;
+  st_fenced : int;
+  st_unacked : int;
+}
+
+let stats t =
+  Hashtbl.fold
+    (fun _ ch acc ->
+      { st_src = ch.ch_src;
+        st_dst = ch.ch_dst;
+        st_epoch = ch.ch_epoch;
+        st_sent = ch.ch_sent;
+        st_retx = ch.ch_retx;
+        st_delivered = ch.ch_delivered;
+        st_dups = ch.ch_dups;
+        st_fenced = ch.ch_fenced;
+        st_unacked = Hashtbl.length ch.ch_unacked }
+      :: acc)
+    t.channels []
+  |> List.sort (fun a b -> compare (a.st_src, a.st_dst) (b.st_src, b.st_dst))
+
+let total_retx t = List.fold_left (fun acc s -> acc + s.st_retx) 0 (stats t)
+
+let total_unacked t =
+  List.fold_left (fun acc s -> acc + s.st_unacked) 0 (stats t)

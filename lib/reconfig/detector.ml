@@ -1,0 +1,152 @@
+(* Heartbeat failure detector.
+
+   The monitor side never reads machine state: its only inputs are
+   (a) bus activity — every message an instance sends is liveness
+   evidence, via [Bus.on_activity] — and (b) periodic heartbeats. The
+   heartbeat emitter models the host-local watchdog agent: it reads the
+   *local* process table (machine status, host up) to decide whether
+   its instance can still beat, then sends the beat over the bus, where
+   it is subject to the same loss and jitter as any message. Lost
+   heartbeats during a quiet spell are exactly how a live instance gets
+   falsely suspected — the race the supervisor's generation fencing
+   must win.
+
+   Suspicion: each check tick, an instance silent for longer than
+   [timeout] gains one suspicion level; [threshold] consecutive silent
+   ticks make it suspected (one lost heartbeat is not an outage). Any
+   evidence resets the level, and clears an existing suspicion. *)
+
+module Bus = Dr_bus.Bus
+module Machine = Dr_interp.Machine
+module Engine = Dr_sim.Engine
+
+type watch_state = {
+  mutable w_last_seen : float;
+  mutable w_level : int;
+  mutable w_suspected : bool;
+}
+
+type t = {
+  bus : Bus.t;
+  period : float;
+  timeout : float;
+  threshold : int;
+  watched : (string, watch_state) Hashtbl.t;
+  mutable running : bool;
+}
+
+let record t fmt =
+  Format.kasprintf
+    (fun detail ->
+      Dr_sim.Trace.record (Bus.trace t.bus) ~time:(Bus.now t.bus)
+        ~category:"suspect" ~detail)
+    fmt
+
+let evidence t instance =
+  match Hashtbl.find_opt t.watched instance with
+  | None -> ()
+  | Some w ->
+    w.w_last_seen <- Bus.now t.bus;
+    w.w_level <- 0;
+    if w.w_suspected then begin
+      w.w_suspected <- false;
+      record t "%s cleared: fresh liveness evidence" instance
+    end
+
+(* Heartbeats converge on a pseudo-endpoint; only the callback matters,
+   but naming the endpoints lets fault rules scope onto the heartbeat
+   traffic specifically (loss@c>_detector=1 starves the detector of
+   c's beats without touching application messages). *)
+let monitor_endpoint = ("_detector", "hb")
+
+let emit_heartbeat t instance =
+  match Bus.process_status t.bus ~instance with
+  | None -> ()
+  | Some (Machine.Halted | Machine.Crashed _) -> ()
+  | Some _ ->
+    let host_down =
+      match Bus.instance_host t.bus ~instance with
+      | Some host -> Bus.host_is_down t.bus host
+      | None -> true
+    in
+    if not host_down then
+      Bus.transmit t.bus ~src:(instance, "hb") ~dst:monitor_endpoint (fun () ->
+          evidence t instance)
+
+let check t instance w =
+  if not w.w_suspected then begin
+    let silence = Bus.now t.bus -. w.w_last_seen in
+    if silence > t.timeout then begin
+      w.w_level <- w.w_level + 1;
+      if w.w_level >= t.threshold then begin
+        w.w_suspected <- true;
+        record t "%s suspected: silent for %.1f (level %d)" instance silence
+          w.w_level
+      end
+    end
+  end
+
+let rec tick t () =
+  if t.running then begin
+    let entries =
+      List.sort compare
+        (Hashtbl.fold (fun k w acc -> (k, w) :: acc) t.watched [])
+    in
+    List.iter
+      (fun (instance, w) ->
+        emit_heartbeat t instance;
+        check t instance w)
+      entries;
+    Engine.schedule (Bus.engine t.bus) ~delay:t.period (tick t)
+  end
+
+let fresh_state t =
+  { w_last_seen = Bus.now t.bus; w_level = 0; w_suspected = false }
+
+let watch t ~instance =
+  if not (Hashtbl.mem t.watched instance) then
+    Hashtbl.replace t.watched instance (fresh_state t)
+
+let unwatch t ~instance = Hashtbl.remove t.watched instance
+
+let rewatch t ~old_instance ~new_instance =
+  unwatch t ~instance:old_instance;
+  Hashtbl.replace t.watched new_instance (fresh_state t)
+
+let start bus ?(period = 1.0) ?(timeout = 3.0) ?(threshold = 2) ~watch:names ()
+    =
+  let t =
+    { bus;
+      period;
+      timeout;
+      threshold;
+      watched = Hashtbl.create 8;
+      running = true }
+  in
+  List.iter (fun instance -> watch t ~instance) names;
+  Bus.on_activity bus (Some (fun instance -> evidence t instance));
+  Engine.schedule (Bus.engine bus) ~delay:period (tick t);
+  t
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    Bus.on_activity t.bus None
+  end
+
+let suspected t ~instance =
+  match Hashtbl.find_opt t.watched instance with
+  | Some w -> w.w_suspected
+  | None -> false
+
+let suspicion t ~instance =
+  match Hashtbl.find_opt t.watched instance with
+  | Some w -> w.w_level
+  | None -> 0
+
+let last_evidence t ~instance =
+  Option.map (fun w -> w.w_last_seen) (Hashtbl.find_opt t.watched instance)
+
+let watched t =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.watched [])

@@ -1,0 +1,56 @@
+(** Heartbeat failure detector.
+
+    The distributed-systems answer to "is that instance alive?" when
+    nothing can read remote state directly: watched instances are
+    judged only by the evidence that crosses the bus — every message
+    they send ({!Dr_bus.Bus.on_activity}) and periodic heartbeats
+    emitted by a host-local watchdog agent, which travel as
+    fault-plane-visible traffic ({!Dr_bus.Bus.transmit}) and can be
+    lost or delayed like any message. A scoped loss rule on
+    [src > _detector] starves the detector of one instance's beats.
+
+    Suspicion is levelled: an instance silent for longer than [timeout]
+    at a check tick gains a level; [threshold] consecutive silent ticks
+    make it {e suspected} (transition traced under ["suspect"]). Fresh
+    evidence resets the level and clears the suspicion. A suspicion can
+    be {e wrong} — the supervisor's generation fencing makes acting on
+    a false positive safe. *)
+
+type t
+
+val start :
+  Dr_bus.Bus.t ->
+  ?period:float ->
+  ?timeout:float ->
+  ?threshold:int ->
+  watch:string list ->
+  unit ->
+  t
+(** Begin watching. Defaults: [period = 1.0] (heartbeat/check tick),
+    [timeout = 3.0] (max silence before a tick counts against the
+    instance), [threshold = 2] (silent ticks until suspected).
+    Installs itself as the bus's single activity hook. *)
+
+val stop : t -> unit
+(** Stop ticking and release the activity hook. *)
+
+val suspected : t -> instance:string -> bool
+(** Current verdict; [false] for unwatched instances. *)
+
+val suspicion : t -> instance:string -> int
+(** Current suspicion level (0 = fresh evidence). *)
+
+val last_evidence : t -> instance:string -> float option
+(** Virtual time of the last liveness evidence. *)
+
+val watch : t -> instance:string -> unit
+(** Add an instance (idempotent; starts with fresh evidence). *)
+
+val unwatch : t -> instance:string -> unit
+
+val rewatch : t -> old_instance:string -> new_instance:string -> unit
+(** The supervisor replaced a generation: stop watching the old name,
+    start watching the new one with fresh evidence. *)
+
+val watched : t -> string list
+(** Watched instance names, sorted. *)

@@ -18,6 +18,7 @@ type entry =
     }
   | Armed_divulge of string
   | Divulged of { d_cap : Primitives.module_cap; d_image : Image.t }
+  | Renamed_transport of { rt_old : string; rt_new : string; rt_fence : bool }
 
 type t = {
   bus : Bus.t;
@@ -99,6 +100,19 @@ let arm_divulge t ~instance callback =
 let note_divulged t ~cap ~image =
   push t (Divulged { d_cap = cap; d_image = image })
 
+(* Deliberately a complete no-op (no journal entry, no bus call) when
+   no transport is installed: on the classic fire-and-forget bus a
+   rename has nothing to move, and journalling it anyway would change
+   the "rolling back N step(s)" counts of fault-free runs (pinned by
+   the golden traces). *)
+let rename_transport t ~old_instance ~new_instance ~fence =
+  if Bus.has_transport t.bus then begin
+    Bus.transport_rename t.bus ~old_instance ~new_instance ~fence;
+    push t
+      (Renamed_transport
+         { rt_old = old_instance; rt_new = new_instance; rt_fence = fence })
+  end
+
 let rebind t batch =
   List.iter
     (fun (command : Primitives.bind_command) ->
@@ -162,6 +176,10 @@ let undo t ~restored = function
   | Armed_divulge instance ->
     Bus.cancel_divulge t.bus ~instance;
     record t "disarmed divulge callback for %s" instance
+  | Renamed_transport { rt_old; rt_new; rt_fence } ->
+    Bus.transport_rename t.bus ~old_instance:rt_new ~new_instance:rt_old
+      ~fence:rt_fence;
+    record t "returned reliable channels of %s to %s" rt_new rt_old
   | Divulged { d_cap; d_image } ->
     (* The target complied: it divulged and is halting — it may even
        still be [Ready], winding down the tail of the quantum that

@@ -73,6 +73,14 @@ val rebind : t -> Primitives.bind_batch -> unit
 (** Apply a rebinding batch through the journal, command by command, in
     order, at one instant of virtual time (as {!Primitives.rebind}). *)
 
+val rename_transport :
+  t -> old_instance:string -> new_instance:string -> fence:bool -> unit
+(** Transfer the reliable layer's per-route sequence state from
+    [old_instance] to [new_instance] ({!Dr_bus.Bus.transport_rename});
+    undo transfers it back. A complete no-op — no journal entry
+    either — when the bus has no transport installed, so fault-free
+    rollback step counts are unchanged. *)
+
 val commit : t -> unit
 (** Discard the journal: the transaction is complete. Silent — no trace
     entry — so committed scripts trace exactly as they always did. *)

@@ -71,15 +71,39 @@ let objstate_move bus ~old_instance ~deliver () =
   Dr_bus.Bus.on_divulge bus ~instance:old_instance deliver;
   Dr_bus.Bus.signal_reconfig bus ~instance:old_instance
 
-let translate_image bus ~src_host ~dst_host image =
+let translate_image bus ?for_instance ~src_host ~dst_host image =
   match Dr_bus.Bus.find_host bus src_host, Dr_bus.Bus.find_host bus dst_host with
   | Some src, Some dst -> (
-    let ( let* ) = Result.bind in
-    let* native_src = Codec.Native.encode src.arch image in
-    let* native_dst =
-      Codec.Native.translate ~src:src.arch ~dst:dst.arch native_src
-    in
-    Codec.Native.decode dst.arch native_dst)
+    match Codec.Native.encode src.arch image with
+    | Error e -> Error e
+    | Ok native_src ->
+      (* an armed [Image_corrupt] fault flips a byte of the native
+         wire image here — between capture and translation, where real
+         corruption would strike; the codec's checksum must catch it *)
+      let native_src =
+        match for_instance with
+        | Some instance
+          when Dr_bus.Bus.consume_image_corruption bus ~instance ->
+          let corrupted = Bytes.copy native_src in
+          let pos = Bytes.length corrupted / 2 in
+          Bytes.set corrupted pos
+            (Char.chr (Char.code (Bytes.get corrupted pos) lxor 0x5A));
+          corrupted
+        | _ -> native_src
+      in
+      let result =
+        let ( let* ) = Result.bind in
+        let* native_dst =
+          Codec.Native.translate ~src:src.arch ~dst:dst.arch native_src
+        in
+        Codec.Native.decode dst.arch native_dst
+      in
+      (match result, for_instance with
+      | Error reason, Some instance ->
+        Dr_bus.Bus.quarantine_image bus ~instance ~reason
+          ~byte_size:(Bytes.length native_src)
+      | _ -> ());
+      result)
   | None, _ -> Error (Printf.sprintf "unknown host %s" src_host)
   | _, None -> Error (Printf.sprintf "unknown host %s" dst_host)
 

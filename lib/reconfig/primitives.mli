@@ -53,6 +53,7 @@ val objstate_move :
 
 val translate_image :
   Dr_bus.Bus.t ->
+  ?for_instance:string ->
   src_host:string ->
   dst_host:string ->
   Dr_state.Image.t ->
@@ -60,7 +61,10 @@ val translate_image :
 (** Push an image through the native wire formats of the two hosts
     (src-native → abstract → dst-native), as a real heterogeneous
     migration would. Fails when a value cannot be represented on the
-    destination architecture. *)
+    destination architecture. With [?for_instance]: an armed
+    {!Dr_bus.Bus.arm_image_corruption} fault corrupts the native bytes
+    in flight (the codec's checksum catches it), and any translation
+    failure quarantines the image against that instance. *)
 
 val chg_obj_add :
   Dr_bus.Bus.t ->

@@ -1,5 +1,6 @@
 module P = Primitives
 module Bus = Dr_bus.Bus
+module Image = Dr_state.Image
 
 type outcome = (string, string) result
 
@@ -102,11 +103,20 @@ let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline
             | Error e -> fail e
             | Ok cap -> (
               Journal.note_divulged j ~cap ~image;
+              (* end-to-end integrity: the digest taken at capture must
+                 survive encode/translate/decode, and [deposit_state
+                 ~expect] re-verifies it at the restore boundary *)
+              let d0 = Image.digest image in
               match
-                P.translate_image bus ~src_host:cap.cap_host ~dst_host:host
-                  image
+                P.translate_image bus ~for_instance:instance
+                  ~src_host:cap.cap_host ~dst_host:host image
               with
               | Error e -> fail (Printf.sprintf "state translation failed: %s" e)
+              | Ok image' when not (Int64.equal (Image.digest image') d0) ->
+                Bus.quarantine_image bus ~instance
+                  ~reason:"digest mismatch after translation"
+                  ~byte_size:(Image.byte_size image');
+                fail "state image digest mismatch after translation"
               | Ok image' -> (
                 let batch = rebind_batch cap ~new_instance in
                 (* The old module has complied. Start the new instance
@@ -122,7 +132,13 @@ let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline
                 | Error e -> fail e
                 | Ok () ->
                   Journal.rebind j batch;
-                  Bus.deposit_state bus ~instance:new_instance image';
+                  (* hand the old name's reliable channels (sequence
+                     state and all) to the clone: a graceful replace
+                     keeps the epoch, so in-flight frames still count *)
+                  Journal.rename_transport j ~old_instance:instance
+                    ~new_instance ~fence:false;
+                  Bus.deposit_state bus ~instance:new_instance ~expect:d0
+                    image';
                   Journal.kill j ~instance ~module_name:cap.cap_module
                     ~host:cap.cap_host ?spec:cap.cap_spec ~image ();
                   Journal.commit j;
@@ -216,8 +232,8 @@ let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
               on_done (Error e)
             in
             match
-              P.translate_image bus ~src_host:cap.cap_host
-                ~dst_host:replica_host image
+              P.translate_image bus ~for_instance:instance
+                ~src_host:cap.cap_host ~dst_host:replica_host image
             with
             | Error e -> fail e
             | Ok image' -> (
@@ -246,7 +262,8 @@ let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
                 on_done (Ok replica_instance)))));
     Bus.signal_reconfig bus ~instance
 
-let replace_stateless bus ~instance ~new_instance ?new_module ?new_host () =
+let replace_stateless bus ~instance ~new_instance ?new_module ?new_host
+    ?(fence = false) () =
   match P.obj_cap bus ~instance with
   | Error e -> Error e
   | Ok cap -> (
@@ -269,6 +286,11 @@ let replace_stateless bus ~instance ~new_instance ?new_module ?new_host () =
       Error e
     | Ok () ->
       Journal.rebind j batch;
+      (* [fence:true] is the supervisor's case — the old generation is
+         only *suspected* dead, so frames it already sent must arrive
+         inert; its unacked frames are retransmitted under the new
+         epoch and name instead *)
+      Journal.rename_transport j ~old_instance:instance ~new_instance ~fence;
       Journal.kill j ~instance ~module_name:cap.cap_module ~host:cap.cap_host
         ?spec:cap.cap_spec ();
       Journal.commit j;

@@ -88,12 +88,17 @@ val replace_stateless :
   new_instance:string ->
   ?new_module:string ->
   ?new_host:string ->
+  ?fence:bool ->
   unit ->
   (string, string) result
 (** Replacement {e without} module participation, in the style of
     SURGEON [5]: no signal, no state capture — the old instance is
     killed, a fresh one starts with status "normal", routes are
-    retargeted and pending queues move. Completes immediately (no
+    retargeted and pending queues move. [?fence] (default [false])
+    controls the reliable layer's rename: [true] bumps the channel
+    epoch so frames the old generation already sent arrive inert — the
+    supervisor's choice, since its target is only {e suspected} dead.
+    Completes immediately (no
     waiting for a reconfiguration point) but the process state is lost;
     only suitable for modules whose state is externally reconstructible
     (the limitation module participation removes). *)

@@ -1,5 +1,4 @@
 module Bus = Dr_bus.Bus
-module Machine = Dr_interp.Machine
 
 type restart = {
   rs_time : float;
@@ -10,6 +9,8 @@ type restart = {
 
 type t = {
   bus : Bus.t;
+  detector : Detector.t;
+  own_detector : bool;
   period : float;
   max_restarts : int;
   fallback_hosts : string list;
@@ -33,61 +34,94 @@ let pick_host t ~current_host =
   else
     List.find_opt (fun h -> not (Bus.host_is_down t.bus h)) t.fallback_hosts
 
+(* The decision is the detector's alone: the supervisor never reads
+   machine status. A suspicion can be a false positive (a live instance
+   whose heartbeats were lost); the restart is still safe because
+   [replace_stateless ~fence:true] bumps the reliable channels' epoch,
+   so whatever the displaced generation still emits arrives fenced. *)
 let check t base =
   match Hashtbl.find_opt t.watched base with
   | None -> ()
   | Some (current, n) -> (
-    match Bus.process_status t.bus ~instance:current with
-    | Some (Machine.Crashed reason) when n >= t.max_restarts ->
-      record t "giving up on %s after %d restart(s) (%s)" base n reason;
-      Hashtbl.remove t.watched base
-    | Some (Machine.Crashed _) -> (
-      let next = generation base (n + 1) in
-      let new_host =
-        match Bus.instance_host t.bus ~instance:current with
-        | None -> None
-        | Some h -> pick_host t ~current_host:h
-      in
-      match
-        Script.replace_stateless t.bus ~instance:current ~new_instance:next
-          ?new_host ()
-      with
-      | Ok _ ->
-        let host = Option.value ~default:"?" (Bus.instance_host t.bus ~instance:next) in
-        record t "restarted %s as %s on %s (restart %d of %d)" current next
-          host (n + 1) t.max_restarts;
-        Hashtbl.replace t.watched base (next, n + 1);
-        t.history <-
-          { rs_time = Bus.now t.bus; rs_old = current; rs_new = next;
-            rs_host = host }
-          :: t.history
-      | Error e -> record t "failed to restart %s: %s" current e)
-    | Some _ -> ()
+    match Bus.instance_module t.bus ~instance:current with
     | None ->
       (* removed by a reconfiguration script; nothing left to supervise *)
-      Hashtbl.remove t.watched base)
+      Detector.unwatch t.detector ~instance:current;
+      Hashtbl.remove t.watched base
+    | Some _ ->
+      if Detector.suspected t.detector ~instance:current then
+        if n >= t.max_restarts then begin
+          record t "giving up on %s after %d restart(s) (still suspected)"
+            base n;
+          Detector.unwatch t.detector ~instance:current;
+          Hashtbl.remove t.watched base
+        end
+        else begin
+          let next = generation base (n + 1) in
+          let new_host =
+            match Bus.instance_host t.bus ~instance:current with
+            | None -> None
+            | Some h -> pick_host t ~current_host:h
+          in
+          match
+            Script.replace_stateless t.bus ~instance:current
+              ~new_instance:next ?new_host ~fence:true ()
+          with
+          | Ok _ ->
+            let host =
+              Option.value ~default:"?"
+                (Bus.instance_host t.bus ~instance:next)
+            in
+            record t "restarted %s as %s on %s (restart %d of %d)" current
+              next host (n + 1) t.max_restarts;
+            Detector.rewatch t.detector ~old_instance:current
+              ~new_instance:next;
+            Hashtbl.replace t.watched base (next, n + 1);
+            t.history <-
+              { rs_time = Bus.now t.bus; rs_old = current; rs_new = next;
+                rs_host = host }
+              :: t.history
+          | Error e -> record t "failed to restart %s: %s" current e
+        end)
 
 let start bus ?(period = 1.0) ?(max_restarts = 3) ?(fallback_hosts = [])
-    ~watch () =
+    ?detector ~watch () =
+  let detector, own_detector =
+    match detector with
+    | Some d -> (d, false)
+    | None -> (Detector.start bus ~watch (), true)
+  in
+  List.iter (fun base -> Detector.watch detector ~instance:base) watch;
   let t =
-    { bus; period; max_restarts; fallback_hosts;
+    { bus; detector; own_detector; period; max_restarts; fallback_hosts;
       watched = Hashtbl.create 7; history = []; running = true }
   in
   List.iter (fun base -> Hashtbl.replace t.watched base (base, 0)) watch;
   let rec tick () =
     if t.running then begin
-      List.iter (check t) (List.of_seq (Hashtbl.to_seq_keys t.watched));
+      List.iter (check t)
+        (List.sort String.compare
+           (List.of_seq (Hashtbl.to_seq_keys t.watched)));
       if Hashtbl.length t.watched > 0 then
         Dr_sim.Engine.schedule (Bus.engine bus) ~delay:t.period tick
-      else t.running <- false
+      else begin
+        t.running <- false;
+        if t.own_detector then Detector.stop t.detector
+      end
     end
   in
   Dr_sim.Engine.schedule (Bus.engine bus) ~delay:t.period tick;
   t
 
-let stop t = t.running <- false
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    if t.own_detector then Detector.stop t.detector
+  end
 
 let restarts t = List.rev t.history
 
 let current t ~base =
   Option.map fst (Hashtbl.find_opt t.watched base)
+
+let detector t = t.detector

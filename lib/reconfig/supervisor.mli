@@ -1,16 +1,24 @@
-(** Crash supervisor: restarts crash-injected instances.
+(** Crash supervisor: restarts suspected instances.
 
     The paper's configuration manager owns the {e planned} half of
     dynamic change; the supervisor handles the unplanned half that the
-    fault plane ({!Dr_bus.Faults}) introduces. It polls the watched
-    instances every [period] units of virtual time and, when one is
-    found [Crashed], restarts it through
+    fault plane ({!Dr_bus.Faults}) introduces. Its decision input is
+    purely a {!Detector}'s suspicion — it never reads machine status
+    (nothing real could). Every [period] units of virtual time it
+    checks the watched instances and restarts a suspected one through
     {!Script.replace_stateless} under a generation name ([pump] →
-    [pump~1] → [pump~2] …), rebinding the crashed instance's routes and
-    moving its pending queues — process state is lost, which is exactly
-    the stateless-restart contract. If the instance's host is down, the
+    [pump~1] → [pump~2] …), rebinding the instance's routes and moving
+    its pending queues — process state is lost, which is exactly the
+    stateless-restart contract. If the instance's host is down, the
     first live host from [fallback_hosts] is used instead. After
     [max_restarts] generations the supervisor gives up on that instance.
+
+    Because a suspicion can be a {e false positive} (a live instance
+    whose heartbeats were lost), the restart passes [~fence:true]: the
+    reliable layer bumps the renamed channels' epoch, so anything the
+    displaced-but-alive generation still emits arrives fenced and
+    inert. The detector is then pointed at the new generation
+    ({!Detector.rewatch}).
 
     Every action emits a ["supervisor"] trace entry, so supervised runs
     stay replayable and auditable. *)
@@ -29,15 +37,23 @@ val start :
   ?period:float ->
   ?max_restarts:int ->
   ?fallback_hosts:string list ->
+  ?detector:Detector.t ->
   watch:string list ->
   unit ->
   t
 (** Begin supervising [watch] (base instance names). Defaults:
-    [period = 1.0], [max_restarts = 3], no fallback hosts. The
-    supervisor stops by itself once nothing is left to watch. *)
+    [period = 1.0], [max_restarts = 3], no fallback hosts. Without
+    [?detector] a private {!Detector} is started with default
+    parameters (and stopped with the supervisor); passing one shares
+    it — the watched bases are added to it either way. The supervisor
+    stops by itself once nothing is left to watch. *)
 
 val stop : t -> unit
-(** Cancel supervision; the next scheduled tick becomes a no-op. *)
+(** Cancel supervision; the next scheduled tick becomes a no-op. Also
+    stops the supervisor's own detector (not a shared one). *)
+
+val detector : t -> Detector.t
+(** The detector the supervisor acts on. *)
 
 val restarts : t -> restart list
 (** Restart history, oldest first. *)

@@ -50,6 +50,38 @@ let write_f64 buf ~big v = write_i64 buf ~big (Int64.bits_of_float v)
 
 let write_bytes buf s = Buffer.add_string buf s
 
+(* ------------------------------------------------------------- crc32 *)
+
+(* Table-driven CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the
+   integrity trailer of the versioned image container. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 data =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  Bytes.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int
+          (Int32.logand
+             (Int32.logxor !crc (Int32.of_int (Char.code ch)))
+             0xFFl)
+      in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    data;
+  Int32.logxor !crc 0xFFFFFFFFl
+
 (* ------------------------------------------------------- buffer pool *)
 
 (* Small free-list of scratch buffers for the encode hot path: every

@@ -21,6 +21,10 @@ val write_i64 : Buffer.t -> big:bool -> int64 -> unit
 val write_f64 : Buffer.t -> big:bool -> float -> unit
 val write_bytes : Buffer.t -> string -> unit
 
+val crc32 : bytes -> int32
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of the whole byte
+    string — the integrity trailer of the versioned image container. *)
+
 val with_buffer : (Buffer.t -> 'a) -> 'a
 (** Run [f] with a pooled scratch buffer (cleared before use, returned
     to the pool afterwards, even on exceptions). The buffer must not

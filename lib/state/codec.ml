@@ -104,33 +104,45 @@ let read_value layout r : Value.t =
   else if tag = tag_null then Vnull
   else malformed "unknown value tag %d" tag
 
-let magic = "DRIMG1"
+(* Container format. Version 2 ("DRIMG2") wraps the body in a version
+   byte and a CRC-32 trailer, so a flipped bit anywhere in transit is
+   caught at decode instead of silently restoring garbage state.
+   Version 1 ("DRIMG1", no version byte, no checksum) is still accepted
+   on decode — images frozen to disk by older builds keep loading. *)
+let magic = "DRIMG2"
+let magic_v1 = "DRIMG1"
+let format_version = 2
 
 let encode_with layout (image : Image.t) =
-  Bin_util.with_buffer @@ fun buf ->
-  Bin_util.write_bytes buf magic;
-  write_string layout buf image.source_module;
-  write_int layout buf (List.length image.records);
-  List.iter
-    (fun (r : Image.record) ->
-      write_int layout buf r.location;
-      write_int layout buf (List.length r.values);
-      List.iter (write_value layout buf) r.values)
-    image.records;
-  write_int layout buf (List.length image.heap);
-  List.iter
-    (fun (id, (block : Image.heap_block)) ->
-      write_int layout buf id;
-      write_ty buf block.elem_ty;
-      write_int layout buf (Array.length block.cells);
-      Array.iter (write_value layout buf) block.cells)
-    image.heap;
-  Buffer.to_bytes buf
+  let payload =
+    Bin_util.with_buffer @@ fun buf ->
+    Bin_util.write_bytes buf magic;
+    Bin_util.write_u8 buf format_version;
+    write_string layout buf image.source_module;
+    write_int layout buf (List.length image.records);
+    List.iter
+      (fun (r : Image.record) ->
+        write_int layout buf r.location;
+        write_int layout buf (List.length r.values);
+        List.iter (write_value layout buf) r.values)
+      image.records;
+    write_int layout buf (List.length image.heap);
+    List.iter
+      (fun (id, (block : Image.heap_block)) ->
+        write_int layout buf id;
+        write_ty buf block.elem_ty;
+        write_int layout buf (Array.length block.cells);
+        Array.iter (write_value layout buf) block.cells)
+      image.heap;
+    Buffer.to_bytes buf
+  in
+  let n = Bytes.length payload in
+  let out = Bytes.create (n + 4) in
+  Bytes.blit payload 0 out 0 n;
+  Bytes.set_int32_be out n (Bin_util.crc32 payload);
+  out
 
-let decode_with layout data : Image.t =
-  let r = Bin_util.reader data in
-  let seen_magic = Bin_util.read_bytes r (String.length magic) in
-  if not (String.equal seen_magic magic) then malformed "bad magic %S" seen_magic;
+let decode_body layout r : Image.t =
   let source_module = read_string layout r in
   let n_records = read_int layout r in
   if n_records < 0 || n_records > 1_000_000 then
@@ -159,6 +171,37 @@ let decode_with layout data : Image.t =
   if Bin_util.remaining r <> 0 then
     malformed "%d trailing bytes" (Bin_util.remaining r);
   { Image.source_module; records; heap }
+
+let starts_with data prefix =
+  Bytes.length data >= String.length prefix
+  && String.equal (Bytes.sub_string data 0 (String.length prefix)) prefix
+
+let decode_with layout data : Image.t =
+  let ml = String.length magic in
+  if starts_with data magic then begin
+    let len = Bytes.length data in
+    if len < ml + 1 + 4 then malformed "truncated image container";
+    let payload = Bytes.sub data 0 (len - 4) in
+    let stored = Bytes.get_int32_be data (len - 4) in
+    let computed = Bin_util.crc32 payload in
+    if not (Int32.equal stored computed) then
+      malformed "checksum mismatch (stored %08lx, computed %08lx)" stored
+        computed;
+    let r = Bin_util.reader payload in
+    ignore (Bin_util.read_bytes r ml);
+    let version = Bin_util.read_u8 r in
+    if version <> format_version then
+      malformed "unsupported image version %d" version;
+    decode_body layout r
+  end
+  else if starts_with data magic_v1 then begin
+    let r = Bin_util.reader data in
+    ignore (Bin_util.read_bytes r ml);
+    decode_body layout r
+  end
+  else
+    malformed "bad magic %S"
+      (Bytes.sub_string data 0 (min ml (Bytes.length data)))
 
 let guarded f =
   try Ok (f ()) with

@@ -10,7 +10,13 @@
     A migration from host A to host B translates
     native(A) → abstract → native(B); {!Native.translate} performs the
     round trip and reports heterogeneity errors (e.g. an integer that does
-    not fit the destination word). *)
+    not fit the destination word).
+
+    Container format: version 2 ("DRIMG2" magic, version byte, body,
+    CRC-32 trailer over everything before it, big-endian). A corrupted
+    byte anywhere fails decode with ["checksum mismatch"] instead of
+    restoring garbage. Version 1 ("DRIMG1", no version byte or
+    checksum) is still accepted on decode. *)
 
 exception Malformed of string
 

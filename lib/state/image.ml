@@ -55,6 +55,73 @@ let pp ppf t =
     t.heap;
   Fmt.pf ppf "@]"
 
+(* Structural 64-bit digest (FNV-1a style mixing) over everything
+   [equal] compares: the module name, each record's location and
+   values, and each heap block's id, element type and cells. Equal
+   images digest equally; a restore can therefore verify that the image
+   it feeds is the image that was captured ([Bus.deposit_state
+   ?expect]). This is an end-to-end check above the container's CRC-32:
+   it survives encode/translate/decode across architectures. *)
+let digest t =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v = h := Int64.mul (Int64.logxor !h v) 0x100000001b3L in
+  let mix_int i = mix (Int64.of_int i) in
+  let mix_string s =
+    mix_int (String.length s);
+    String.iter (fun c -> mix (Int64.of_int (Char.code c))) s
+  in
+  let mix_value = function
+    | Value.Vint i ->
+      mix_int 1;
+      mix_int i
+    | Value.Vfloat f ->
+      mix_int 2;
+      mix (Int64.bits_of_float f)
+    | Value.Vbool b ->
+      mix_int 3;
+      mix_int (if b then 1 else 0)
+    | Value.Vstr s ->
+      mix_int 4;
+      mix_string s
+    | Value.Varr block ->
+      mix_int 5;
+      mix_int block
+    | Value.Vptr (block, off) ->
+      mix_int 6;
+      mix_int block;
+      mix_int off
+    | Value.Vnull -> mix_int 7
+  in
+  let rec mix_ty = function
+    | Dr_lang.Ast.Tint -> mix_int 1
+    | Dr_lang.Ast.Tfloat -> mix_int 2
+    | Dr_lang.Ast.Tbool -> mix_int 3
+    | Dr_lang.Ast.Tstr -> mix_int 4
+    | Dr_lang.Ast.Tarr ty ->
+      mix_int 5;
+      mix_ty ty
+    | Dr_lang.Ast.Tptr ty ->
+      mix_int 6;
+      mix_ty ty
+  in
+  mix_string t.source_module;
+  mix_int (List.length t.records);
+  List.iter
+    (fun r ->
+      mix_int r.location;
+      mix_int (List.length r.values);
+      List.iter mix_value r.values)
+    t.records;
+  mix_int (List.length t.heap);
+  List.iter
+    (fun (id, block) ->
+      mix_int id;
+      mix_ty block.elem_ty;
+      mix_int (Array.length block.cells);
+      Array.iter mix_value block.cells)
+    t.heap;
+  !h
+
 let value_size = function
   | Value.Vint _ | Value.Vfloat _ | Value.Vbool _ -> 8
   | Value.Vstr s -> 8 + String.length s

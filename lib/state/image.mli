@@ -32,6 +32,12 @@ val depth : t -> int
 
 val equal : t -> t -> bool
 
+val digest : t -> int64
+(** Structural 64-bit digest (FNV-1a mixing) over everything {!equal}
+    compares. [equal a b] implies [digest a = digest b]; the scripts
+    use it to verify a restored image end-to-end across
+    encode/translate/decode ({!Dr_bus.Bus.deposit_state} [?expect]). *)
+
 val pp : Format.formatter -> t -> unit
 
 val value_size : Value.t -> int

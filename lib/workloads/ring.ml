@@ -216,3 +216,15 @@ let history_consecutive history =
     | v :: rest -> v = expected && check (expected + 1) rest
   in
   check 1 history
+
+(* Exactly-once as a multiset property: every token 1..n observed once,
+   none missing, none twice. Arrival *order* is deliberately not
+   checked — under the reliable layer a retransmitted token can
+   overtake a fresh one on a different member->tap channel, which is
+   reordering, not loss or duplication. *)
+let history_exactly_once history =
+  let rec check expected = function
+    | [] -> true
+    | v :: rest -> v = expected && check (expected + 1) rest
+  in
+  check 1 (List.sort compare history)

@@ -91,3 +91,9 @@ val tap_history : Dr_bus.Bus.t -> int list
 val history_consecutive : int list -> bool
 (** True iff the history is exactly 1, 2, 3, … — the token was never
     lost, duplicated or reordered by any reconfiguration. *)
+
+val history_exactly_once : int list -> bool
+(** True iff the history is a permutation of 1, 2, 3, …, n — every token
+    observed exactly once, in any order. The right invariant under the
+    reliable delivery layer, where retransmission can reorder tokens
+    across the member→tap channels without losing or duplicating any. *)

@@ -234,11 +234,11 @@ let test_kill_accounting () =
   Bus.on_divulge bus ~instance:"c" (fun _ -> ());
   Bus.deposit_state bus ~instance:"c"
     (Dr_state.Image.empty ~source_module:"consumer");
-  let state = trace_details bus ~category:"state" in
+  let audit = trace_details bus ~category:"audit" in
   Alcotest.(check bool) "late on_divulge traced" true
-    (List.mem "divulge callback for dead instance c discarded" state);
+    (List.mem "divulge callback for dead instance c discarded" audit);
   Alcotest.(check bool) "late deposit_state traced" true
-    (List.mem "state image for dead instance c discarded" state)
+    (List.mem "state image for dead instance c discarded" audit)
 
 let test_spawn_errors () =
   let bus = make_bus () in

@@ -100,6 +100,44 @@ let test_parse_plan () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted a bogus clause"
 
+let expect_parse_error spec needle =
+  match Faults.parse_plan spec with
+  | Ok _ -> Alcotest.failf "accepted %S" spec
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%S rejected with %S, got %S" spec needle e)
+      true (contains needle e)
+
+let test_parse_plan_validation () =
+  (* malformed @T clauses *)
+  expect_parse_error "crash=hostB@-1" "non-negative";
+  expect_parse_error "crash=hostB@x" "name@time";
+  expect_parse_error "crash=@4" "name@time";
+  expect_parse_error "corrupt=c@-0.5" "non-negative";
+  (* contradictory clauses *)
+  expect_parse_error "kill=b@3,kill=b@3" "duplicate kill clause b@3";
+  expect_parse_error "crash=hostB@4,recover=hostB@4"
+    "crash and recover of hostB at the same time";
+  (* a later, narrower rule a broader earlier rule shadows (first match
+     wins, so it could never fire) *)
+  expect_parse_error "loss=0.1,loss@a>b=0.5" "shadowed";
+  expect_parse_error "loss@a>*=0.1,dup@a>b=0.5" "shadowed";
+  (* narrow before broad is the legal spelling *)
+  (match Faults.parse_plan "loss@a>b=0.5,loss=0.1" with
+  | Ok (_, p) ->
+    Alcotest.(check int) "narrow-then-broad keeps both rules" 2
+      (List.length p.fp_rules)
+  | Error e -> Alcotest.failf "narrow-then-broad: %s" e);
+  (* same scope merges; distinct times are distinct events *)
+  (match Faults.parse_plan "loss=0.05,dup=0.01" with
+  | Ok (_, p) -> Alcotest.(check int) "same scope merges" 1 (List.length p.fp_rules)
+  | Error e -> Alcotest.failf "merge: %s" e);
+  match Faults.parse_plan "crash=hostB@4,recover=hostB@8" with
+  | Ok (_, p) ->
+    Alcotest.(check int) "crash then later recover is legal" 2
+      (List.length p.fp_events)
+  | Error e -> Alcotest.failf "crash/recover: %s" e
+
 (* --------------------------------------------------- idempotent bus ops *)
 
 let test_kill_wake_idempotent () =
@@ -291,6 +329,58 @@ let test_chaos_replace_consistent () =
          (Bus.all_routes bus))
   done
 
+(* ----------------------------------------------------------- double faults *)
+
+module Journal = Dr_reconfig.Journal
+module Primitives = Dr_reconfig.Primitives
+
+let compute_cap bus =
+  match Primitives.obj_cap bus ~instance:"compute" with
+  | Ok cap -> cap
+  | Error e -> Alcotest.failf "obj_cap: %s" e
+
+let test_rollback_with_host_down_leaves_crashed () =
+  (* The fault that matters arrives *during* the rollback: compute has
+     divulged and halted when its host dies. Undoing [note_divulged]
+     must not kill the shell and fail the respawn (losing the instance
+     outright) — it leaves it for a supervisor and says so. *)
+  let system = Monitor.load () in
+  let bus = Monitor.start system in
+  run_until_displays bus 2;
+  let cap = compute_cap bus in
+  let j = Journal.create bus ~label:"double-fault" in
+  let got = ref None in
+  Journal.arm_divulge j ~instance:"compute" (fun image -> got := Some image);
+  Bus.signal_reconfig bus ~instance:"compute";
+  Bus.run_while bus ~max_events:2_000_000 (fun () -> Option.is_none !got);
+  Journal.note_divulged j ~cap ~image:(Option.get !got);
+  let before = snapshot bus in
+  Bus.crash_host bus ~host:"hostA";
+  Journal.rollback j ~reason:"double fault";
+  Alcotest.(check bool) "refuses to restore onto a down host" true
+    (trace_has bus ~category:"rollback"
+       ~detail:"cannot restore compute: host hostA is down");
+  Alcotest.check config "routes and roster untouched" before (snapshot bus)
+
+let test_rollback_respawn_failure_is_traced () =
+  (* Journalled kill, then the host dies before the rollback: the undo's
+     respawn must fail loudly (traced), not resurrect a phantom. *)
+  let system = Monitor.load () in
+  let bus = Monitor.start system in
+  run_until_displays bus 2;
+  let cap = compute_cap bus in
+  let j = Journal.create bus ~label:"double-fault" in
+  Journal.kill j ~instance:"compute" ~module_name:cap.Primitives.cap_module
+    ~host:cap.Primitives.cap_host ();
+  Alcotest.(check bool) "killed" false (List.mem "compute" (Bus.instances bus));
+  Bus.crash_host bus ~host:cap.Primitives.cap_host;
+  Journal.rollback j ~reason:"double fault";
+  Alcotest.(check bool) "respawn failure traced" true
+    (trace_has bus ~category:"rollback"
+       ~detail:"FAILED to restore instance compute");
+  Alcotest.(check bool) "no phantom instance" false
+    (List.mem "compute" (Bus.instances bus))
+
 (* ------------------------------------------------------------ supervisor *)
 
 let test_supervisor_restarts () =
@@ -334,7 +424,14 @@ let () =
             test_host_crash_and_recover;
           Alcotest.test_case "seeded replay is deterministic" `Quick
             test_chaos_replay_deterministic;
-          Alcotest.test_case "parse fault specs" `Quick test_parse_plan ] );
+          Alcotest.test_case "parse fault specs" `Quick test_parse_plan;
+          Alcotest.test_case "reject malformed and contradictory specs" `Quick
+            test_parse_plan_validation ] );
+      ( "double faults",
+        [ Alcotest.test_case "rollback with the host down" `Quick
+            test_rollback_with_host_down_leaves_crashed;
+          Alcotest.test_case "rollback respawn failure is traced" `Quick
+            test_rollback_respawn_failure_is_traced ] );
       ( "idempotent ops",
         [ Alcotest.test_case "kill/wake on dead instances" `Quick
             test_kill_wake_idempotent ] );
