@@ -1,0 +1,165 @@
+(* Disruption-window benchmark: sweep AR-stack depth x per-frame payload
+   on the deeprec_payload workload, migrate the instance across
+   architectures (hostA x86_64 -> hostB sparc32), and read the phase
+   decomposition back out of the span tree the reconfiguration script
+   records — signal, drain, capture, translate, restore, all in virtual
+   time. Emits BENCH_disruption.json next to bench_output.txt.
+
+   Run with: dune exec bench/main.exe -- disruption           (full sweep)
+             dune exec bench/main.exe -- disruption --quick   (CI smoke)
+
+   Every cell asserts the decomposition identity: the phase durations
+   must tile the root span exactly (total = signal + drain + capture +
+   translate + restore), i.e. the observability plane accounts for the
+   whole window with no gap and no overlap. *)
+
+module Bus = Dr_bus.Bus
+module Script = Dr_reconfig.Script
+module Metrics = Dr_obs.Metrics
+module Synthetic = Dr_workloads.Synthetic
+module I = Dr_transform.Instrument
+
+type cell = {
+  c_depth : int;
+  c_payload : int;
+  c_bytes_in : int;   (* abstract image size leaving hostA *)
+  c_bytes_out : int;  (* after translation for hostB *)
+  c_signal : float;
+  c_drain : float;
+  c_capture : float;
+  c_translate : float;
+  c_restore : float;
+  c_total : float;
+}
+
+let dur name span =
+  match Metrics.span_duration span with
+  | Some d -> d
+  | None -> failwith (Printf.sprintf "disruption: %s span still open" name)
+
+let child root kind =
+  match
+    List.find_opt
+      (fun s -> String.equal (Metrics.span_kind s) kind)
+      (Metrics.span_children root)
+  with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "disruption: no %s child span" kind)
+
+let int_attr span name =
+  match List.assoc_opt name (Metrics.span_attrs span) with
+  | Some v -> int_of_string v
+  | None -> failwith (Printf.sprintf "disruption: span lacks %s attr" name)
+
+let run_cell ~depth ~payload =
+  let registry = Metrics.create () in
+  let bus = Bus.create ~hosts:Dr_workloads.Monitor.hosts () in
+  Bus.set_metrics bus registry;
+  let prepared =
+    match
+      I.prepare
+        (Synthetic.deeprec_payload ~depth ~payload)
+        ~points:Synthetic.deeprec_points
+    with
+    | Ok prepared -> prepared.I.prepared_program
+    | Error e -> failwith ("disruption: instrument: " ^ e)
+  in
+  (match Bus.register_program bus prepared with
+  | Ok () -> ()
+  | Error e -> failwith ("disruption: register: " ^ e));
+  (match Bus.spawn bus ~instance:"w" ~module_name:"deeppay" ~host:"hostA" () with
+  | Ok () -> ()
+  | Error e -> failwith ("disruption: spawn: " ^ e));
+  (* let it dive to the bottom loop before signalling *)
+  Bus.run ~until:5.0 bus;
+  (match
+     Script.run_sync bus (fun ~on_done ->
+         Script.migrate bus ~instance:"w" ~new_instance:"w2" ~new_host:"hostB"
+           ~on_done ())
+   with
+  | Ok _ -> ()
+  | Error e -> failwith ("disruption: migrate: " ^ e));
+  (* run on so the clone finishes restoring (closes the lazy spans) *)
+  Bus.run ~until:(Bus.now bus +. 10.0) bus;
+  let root =
+    match
+      List.filter
+        (fun s -> String.equal (Metrics.span_kind s) "migrate")
+        (Metrics.roots registry)
+    with
+    | [ s ] -> s
+    | roots ->
+      failwith
+        (Printf.sprintf "disruption: expected one migrate span, got %d"
+           (List.length roots))
+  in
+  let translate = child root "translate" in
+  let cell =
+    { c_depth = depth;
+      c_payload = payload;
+      c_bytes_in = int_attr translate "bytes_in";
+      c_bytes_out = int_attr translate "bytes_out";
+      c_signal = dur "signal" (child root "signal");
+      c_drain = dur "drain" (child root "drain");
+      c_capture = dur "capture" (child root "capture");
+      c_translate = dur "translate" translate;
+      c_restore = dur "restore" (child root "restore");
+      c_total = dur "migrate" root }
+  in
+  let sum =
+    cell.c_signal +. cell.c_drain +. cell.c_capture +. cell.c_translate
+    +. cell.c_restore
+  in
+  if Float.abs (sum -. cell.c_total) > 1e-9 then
+    failwith
+      (Printf.sprintf
+         "disruption: depth %d payload %d: phases sum to %.9f but window is %.9f"
+         depth payload sum cell.c_total);
+  cell
+
+let cell_json c =
+  Json_out.obj
+    [ ("depth", Json_out.int c.c_depth);
+      ("payload", Json_out.int c.c_payload);
+      ("bytes_in", Json_out.int c.c_bytes_in);
+      ("bytes_out", Json_out.int c.c_bytes_out);
+      ("signal", Json_out.float c.c_signal);
+      ("drain", Json_out.float c.c_drain);
+      ("capture", Json_out.float c.c_capture);
+      ("translate", Json_out.float c.c_translate);
+      ("restore", Json_out.float c.c_restore);
+      ("total", Json_out.float c.c_total) ]
+
+let all ?(quick = false) () =
+  print_newline ();
+  print_endline "==============================================================";
+  print_endline "Disruption window vs AR-stack depth x payload (virtual time)";
+  print_endline "  migrate hostA (x86_64) -> hostB (sparc32), deeprec_payload";
+  print_endline "==============================================================";
+  let depths = if quick then [ 4; 16 ] else [ 2; 8; 32; 128 ] in
+  let payloads = if quick then [ 0; 8 ] else [ 0; 16; 64 ] in
+  let cells =
+    List.concat_map
+      (fun depth ->
+        List.map (fun payload -> run_cell ~depth ~payload) payloads)
+      depths
+  in
+  Printf.printf "%6s %8s %9s %8s %8s %8s %8s %8s %8s\n" "depth" "payload"
+    "bytes" "signal" "drain" "capture" "xlate" "restore" "total";
+  Printf.printf "%s\n" (String.make 78 '-');
+  List.iter
+    (fun c ->
+      Printf.printf "%6d %8d %9d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n"
+        c.c_depth c.c_payload c.c_bytes_in c.c_signal c.c_drain c.c_capture
+        c.c_translate c.c_restore c.c_total)
+    cells;
+  print_endline
+    "(each row checked: phases tile the window — total = signal + drain";
+  print_endline " + capture + translate + restore, exactly)";
+  let json =
+    Json_out.obj
+      [ ("suite", Json_out.str "disruption");
+        ("quick", Json_out.bool quick);
+        ("cells", Json_out.arr (List.map cell_json cells)) ]
+  in
+  Json_out.write "BENCH_disruption.json" json

@@ -24,16 +24,22 @@
    the original AST-walking engine (instrs/sec on the D1 hot loop,
    depth-64 capture/restore) and emits BENCH_interp.json.
 
+   Part 6 (Disruption) sweeps AR-stack depth x payload on a cross-
+   architecture migration and reads the signal/drain/capture/translate/
+   restore decomposition out of the metrics span tree; emits
+   BENCH_disruption.json.
+
    Run with: dune exec bench/main.exe             (tables + micro)
              dune exec bench/main.exe -- tables   (virtual-time tables only)
              dune exec bench/main.exe -- micro    (wall-clock only)
              dune exec bench/main.exe -- scaling  (bus scaling suite)
              dune exec bench/main.exe -- chaos    (fault-injection suite)
              dune exec bench/main.exe -- interp   (engine comparison)
+             dune exec bench/main.exe -- disruption (window decomposition)
 
-   "scaling", "chaos" and "interp" accept --quick (fewer trials/seeds,
-   CI smoke); all three emit machine-readable BENCH_*.json artifacts
-   next to bench_output.txt. *)
+   "scaling", "chaos", "interp" and "disruption" accept --quick (fewer
+   trials/seeds, CI smoke); all four emit machine-readable BENCH_*.json
+   artifacts next to bench_output.txt. *)
 
 open Bechamel
 open Toolkit
@@ -288,4 +294,5 @@ let () =
     if quick then Scaling.all ~sizes:[ 10; 50 ] ~events:20_000 ()
     else Scaling.all ();
   if what = "chaos" then Chaos.all ~quick ();
-  if what = "interp" then Interp_bench.all ~quick ()
+  if what = "interp" then Interp_bench.all ~quick ();
+  if what = "disruption" then Disruption.all ~quick ()

@@ -268,6 +268,18 @@ let reliable_arg =
 let timeline_arg =
   Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII timeline of the run.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"OUT.json"
+        ~doc:
+          "Attach the metrics plane (counters, gauges, reconfiguration \
+           span trees) and write a JSON snapshot to OUT.json at the end of \
+           the run; a text rendering of the disruption windows is printed \
+           to stdout. Observation is passive: the simulated event sequence \
+           is identical with or without this flag.")
+
 let parse_hosts specs =
   List.map
     (fun spec ->
@@ -280,13 +292,28 @@ let parse_hosts specs =
     specs
 
 let run_cmd =
-  let run mil srcs app until hosts migrate faults reliable trace timeline =
+  let run mil srcs app until hosts migrate faults reliable trace timeline
+      metrics =
     let system = match load_system mil srcs with Ok s -> s | Error e -> or_die (Error e) in
     let hosts = parse_hosts hosts in
     let bus =
       match Dynrecon.System.start system ~app ~hosts () with
       | Ok bus -> bus
       | Error e -> or_die (Error e)
+    in
+    let registry =
+      match metrics with
+      | None -> Dr_bus.Bus.metrics bus (* DRC_METRICS may have attached one *)
+      | Some _ ->
+        let r =
+          match Dr_bus.Bus.metrics bus with
+          | Some r -> r
+          | None ->
+            let r = Dr_obs.Metrics.create () in
+            Dr_bus.Bus.set_metrics bus r;
+            r
+        in
+        Some r
     in
     (match faults with
     | None -> ()
@@ -316,13 +343,24 @@ let run_cmd =
         List.iter (Printf.printf "%s\n") (Dr_bus.Bus.outputs bus ~instance:inst))
       (Dr_bus.Bus.instances bus);
     if timeline then print_string (Dr_report.Timeline.render bus);
+    (match (metrics, registry) with
+    | Some path, Some r ->
+      let now = Dr_bus.Bus.now bus in
+      print_string (Dr_report.Obs_report.render ~now r);
+      let oc = open_out path in
+      output_string oc (Dr_obs.Metrics.snapshot_json ~now r);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "metrics snapshot written to %s\n" path
+    | _ -> ());
     if trace then Fmt.pr "%a" Dr_sim.Trace.dump (Dr_bus.Bus.trace bus)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Deploy an application and simulate it.")
     Term.(
       const run $ mil_arg $ srcs_arg $ app_arg $ until_arg $ hosts_arg
-      $ migrate_arg $ faults_arg $ reliable_arg $ trace_arg $ timeline_arg)
+      $ migrate_arg $ faults_arg $ reliable_arg $ trace_arg $ timeline_arg
+      $ metrics_arg)
 
 let inspect_cmd =
   let run file =

@@ -102,8 +102,19 @@ and flatten_stmt b (s : Ast.stmt) =
   let src_label = s.label in
   match s.kind with
   | Decl (name, _, init) ->
-    let uses = match init with Some e -> expr_uses [] e | None -> [] in
-    ignore (new_node b ?src_label ~uses ~defs:[ name ] [ b.count + 1 ])
+    (* A declaration without an initialiser is a runtime no-op: lowering
+       emits no instruction for it, so the frame slot keeps whatever
+       value it already carried — around a loop back-edge, the value of
+       the previous iteration. Treating the bare decl as a definition
+       would kill liveness above it and wrongly trim the variable from
+       capture sets at reconfiguration points inside the loop. Only an
+       initialised decl defines. *)
+    let uses, defs =
+      match init with
+      | Some e -> (expr_uses [] e, [ name ])
+      | None -> ([], [])
+    in
+    ignore (new_node b ?src_label ~uses ~defs [ b.count + 1 ])
   | Assign (lv, e) ->
     let uses = expr_uses (lvalue_uses [] lv) e in
     ignore (new_node b ?src_label ~uses ~defs:(lvalue_defs lv) [ b.count + 1 ])

@@ -3,6 +3,7 @@ module Trace = Dr_sim.Trace
 module Machine = Dr_interp.Machine
 module Value = Dr_state.Value
 module Image = Dr_state.Image
+module Metrics = Dr_obs.Metrics
 
 type host = { host_name : string; arch : Dr_state.Arch.t }
 
@@ -82,24 +83,66 @@ type t = {
   mutable activity_hook : (string -> unit) option;
   corrupt_images : (string, unit) Hashtbl.t;
   mutable quarantine_rev : quarantined list;
+  mutable bus_metrics : Metrics.t option;
 }
 
+(* Metrics are strictly passive: these helpers never schedule events,
+   never touch the trace, and never draw from the PRNG, so attaching a
+   registry cannot perturb the simulation. *)
+let m_incr t ?labels ?by name =
+  match t.bus_metrics with
+  | Some r -> Metrics.incr r ?labels ?by name
+  | None -> ()
+
+let m_add_gauge t ?labels name v =
+  match t.bus_metrics with
+  | Some r -> Metrics.add_gauge r ?labels name v
+  | None -> ()
+
+(* Sampled gauges: state that lives in bus structures (queue depths,
+   instance count) is read at snapshot time by a collector rather than
+   written through on every mutation. *)
+let install_collectors t registry =
+  Metrics.register_collector registry (fun r ->
+      Metrics.set_gauge r "bus.live_instances"
+        (float_of_int (Hashtbl.length t.live));
+      Hashtbl.iter
+        (fun instance p ->
+          Hashtbl.iter
+            (fun iface q ->
+              Metrics.set_gauge r "bus.queue_depth"
+                ~labels:[ ("instance", instance); ("iface", iface) ]
+                (float_of_int (Queue.length q)))
+            p.p_queues)
+        t.live)
+
+let set_metrics t registry =
+  t.bus_metrics <- Some registry;
+  install_collectors t registry
+
+let metrics t = t.bus_metrics
+
 let create ?(params = default_params) ~hosts () =
-  { engine = Engine.create ();
-    trace = Trace.create ();
-    bus_params = params;
-    bus_hosts = hosts;
-    programs = Hashtbl.create 8;
-    procs_rev = [];
-    live = Hashtbl.create 64;
-    routes_rev = [];
-    route_index = Hashtbl.create 64;
-    fault_hooks = None;
-    down_hosts = Hashtbl.create 4;
-    transport = None;
-    activity_hook = None;
-    corrupt_images = Hashtbl.create 4;
-    quarantine_rev = [] }
+  let t =
+    { engine = Engine.create ();
+      trace = Trace.create ();
+      bus_params = params;
+      bus_hosts = hosts;
+      programs = Hashtbl.create 8;
+      procs_rev = [];
+      live = Hashtbl.create 64;
+      routes_rev = [];
+      route_index = Hashtbl.create 64;
+      fault_hooks = None;
+      down_hosts = Hashtbl.create 4;
+      transport = None;
+      activity_hook = None;
+      corrupt_images = Hashtbl.create 4;
+      quarantine_rev = [];
+      bus_metrics = None }
+  in
+  if Metrics.enabled_from_env () then set_metrics t (Metrics.create ());
+  t
 
 let engine t = t.engine
 let trace t = t.trace
@@ -161,6 +204,7 @@ let consume_image_corruption t ~instance =
   else false
 
 let quarantine_image t ~instance ~reason ~byte_size =
+  m_incr t ~labels:[ ("instance", instance) ] "reconfig.quarantined";
   t.quarantine_rev <-
     { q_time = now t; q_instance = instance; q_reason = reason;
       q_byte_size = byte_size }
@@ -265,6 +309,8 @@ and run_quantum t p =
       incr steps
     done;
     let executed = Machine.instr_count p.p_machine - before in
+    m_incr t ~labels:[ ("instance", p.p_instance) ] ~by:executed
+      "interp.instructions";
     let cost = float_of_int executed *. t.bus_params.instr_cost in
     match Machine.status p.p_machine with
     | Machine.Ready -> schedule_quantum t p ~delay:(Float.max cost t.bus_params.instr_cost)
@@ -352,12 +398,15 @@ let pending_messages t (instance, iface) =
 let deliver t ~dst value =
   let instance, iface = dst in
   match find_proc t instance with
-  | None -> record t "drop" "message for dead instance %s.%s" instance iface
+  | None ->
+    m_incr t ~labels:[ ("instance", instance) ] "bus.dropped";
+    record t "drop" "message for dead instance %s.%s" instance iface
   | Some p ->
     if host_is_down t p.p_host.host_name then
       record t "fault" "delivery to %s.%s failed: host %s is down" instance
         iface p.p_host.host_name
     else begin
+      m_incr t ~labels:[ ("instance", instance) ] "bus.delivered";
       Queue.add value (queue_of p iface);
       wake_endpoint t p iface
     end
@@ -431,11 +480,16 @@ let route_message t p iface value =
   | Some hook -> hook p.p_instance
   | None -> ());
   let dsts = routes_from t src in
-  if dsts = [] then
+  if dsts = [] then begin
+    m_incr t ~labels:[ ("instance", p.p_instance) ] "bus.dropped";
     record t "drop" "%s.%s has no binding; message discarded" p.p_instance iface
+  end
   else
     List.iter
       (fun dst ->
+        m_incr t
+          ~labels:[ ("route", fst src ^ "->" ^ fst dst) ]
+          "bus.messages_routed";
         let handled =
           match t.transport with
           | Some tr -> tr.tr_send ~src ~dst value
@@ -449,7 +503,9 @@ let route_message t p iface value =
           in
           let delay = latency t p.p_host dst_host in
           let send ~delay =
+            m_add_gauge t "bus.in_flight" 1.;
             Engine.schedule t.engine ~delay (fun () ->
+                m_add_gauge t "bus.in_flight" (-1.);
                 deliver_or_redirect t ~src ~dst ~peers:dsts value)
           in
           match t.fault_hooks with
@@ -592,6 +648,7 @@ let spawn t ~instance ~module_name ~host ?spec ?(status = "normal") () =
         p_ref := Some p;
         t.procs_rev <- p :: t.procs_rev;
         Hashtbl.replace t.live instance p;
+        m_incr t ~labels:[ ("instance", instance) ] "bus.spawns";
         record t "lifecycle" "%s (%s) started on %s as %s" instance module_name
           h.host_name status;
         schedule_quantum t p ~delay:0.0;
@@ -654,6 +711,7 @@ let kill t ~instance =
     p.p_alive <- false;
     p.p_ended <- Some (now t);
     Hashtbl.remove t.live instance;
+    m_incr t ~labels:[ ("instance", instance) ] "bus.kills";
     record t "lifecycle" "%s removed" instance;
     (* a divulge callback armed on a dead instance can never fire; keep
        it from lingering on the dead record *)
@@ -742,6 +800,7 @@ let signal_reconfig t ~instance =
   match find_proc t instance with
   | None -> ()
   | Some p ->
+    m_incr t ~labels:[ ("instance", instance) ] "reconfig.signals";
     record t "signal" "reconfiguration signal -> %s" instance;
     Machine.deliver_signal p.p_machine
 
@@ -801,6 +860,7 @@ let deposit_state t ~instance ?expect image =
                digest (Image.digest image))
           ~byte_size:(Image.byte_size image)
       | _ ->
+        m_incr t ~labels:[ ("instance", instance) ] "reconfig.state_deposits";
         record t "state" "state image deposited into %s" instance;
         Machine.feed_image p.p_machine image;
         schedule_quantum t p ~delay:0.0))

@@ -32,6 +32,16 @@ val create : ?params:params -> hosts:host list -> unit -> t
 val engine : t -> Dr_sim.Engine.t
 val trace : t -> Dr_sim.Trace.t
 val now : t -> float
+
+val set_metrics : t -> Dr_obs.Metrics.t -> unit
+(** Attach a metrics registry: bus counters (messages routed, drops,
+    spawns/kills, reconfiguration signals), an in-flight gauge, and
+    snapshot-time collectors for queue depths. Purely passive — no trace
+    entries, no scheduled events, no PRNG draws — so golden traces stay
+    byte-identical with metrics attached. [create] auto-attaches a fresh
+    registry when the [DRC_METRICS] environment variable is set. *)
+
+val metrics : t -> Dr_obs.Metrics.t option
 val params : t -> params
 
 val hosts : t -> host list

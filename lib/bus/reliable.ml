@@ -248,26 +248,6 @@ let rename t ~old_instance ~new_instance ~fence =
       (if fence then " (fenced)" else "")
   end
 
-(* -------------------------------------------------------------- admin *)
-
-let attach ?(params = default_params) bus =
-  let t = { bus; p = params; channels = Hashtbl.create 32; cover_all = false } in
-  Bus.set_transport bus
-    { Bus.tr_send = (fun ~src ~dst value -> send t ~src ~dst value);
-      tr_rename =
-        (fun ~old_instance ~new_instance ~fence ->
-          rename t ~old_instance ~new_instance ~fence) };
-  t
-
-let detach t = Bus.clear_transport t.bus
-
-let enable_all t = t.cover_all <- true
-
-let enable_route t ~src ~dst =
-  match Hashtbl.find_opt t.channels (src, dst) with
-  | Some _ -> ()
-  | None -> ignore (create_channel t ~src ~dst)
-
 (* -------------------------------------------------------------- stats *)
 
 type stats = {
@@ -302,3 +282,51 @@ let total_retx t = List.fold_left (fun acc s -> acc + s.st_retx) 0 (stats t)
 
 let total_unacked t =
   List.fold_left (fun acc s -> acc + s.st_unacked) 0 (stats t)
+
+(* -------------------------------------------------------------- admin *)
+
+let attach ?(params = default_params) bus =
+  let t = { bus; p = params; channels = Hashtbl.create 32; cover_all = false } in
+  Bus.set_transport bus
+    { Bus.tr_send = (fun ~src ~dst value -> send t ~src ~dst value);
+      tr_rename =
+        (fun ~old_instance ~new_instance ~fence ->
+          rename t ~old_instance ~new_instance ~fence) };
+  (* Export channel statistics as gauges, sampled at snapshot time.
+     Requires the registry to be on the bus before [attach]. *)
+  (match Bus.metrics bus with
+  | Some registry ->
+    Dr_obs.Metrics.register_collector registry (fun r ->
+        let route s =
+          Printf.sprintf "%s.%s->%s.%s" (fst s.st_src) (snd s.st_src)
+            (fst s.st_dst) (snd s.st_dst)
+        in
+        List.iter
+          (fun s ->
+            let labels = [ ("route", route s) ] in
+            let g name v =
+              Dr_obs.Metrics.set_gauge r ~labels name (float_of_int v)
+            in
+            g "reliable.sent" s.st_sent;
+            g "reliable.retx" s.st_retx;
+            g "reliable.delivered" s.st_delivered;
+            g "reliable.dups" s.st_dups;
+            g "reliable.fenced" s.st_fenced;
+            g "reliable.unacked" s.st_unacked)
+          (stats t);
+        Dr_obs.Metrics.set_gauge r "reliable.retx_total"
+          (float_of_int (total_retx t));
+        Dr_obs.Metrics.set_gauge r "reliable.unacked_total"
+          (float_of_int (total_unacked t)))
+  | None -> ());
+  t
+
+let detach t = Bus.clear_transport t.bus
+
+let enable_all t = t.cover_all <- true
+
+let enable_route t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some _ -> ()
+  | None -> ignore (create_channel t ~src ~dst)
+

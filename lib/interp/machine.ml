@@ -65,6 +65,15 @@ type t = {
   io : Io_intf.t;
   mutable instrs_executed : int;
   mutable tracer : (string -> int -> Ir.instr -> unit) option;
+  (* Observability timestamps (virtual time, via [io_now]) and counters.
+     Written on the existing state transitions only — reading the clock
+     through [io] keeps the machine free of any engine dependency. *)
+  mutable signal_handled_at : float option;
+  mutable capture_started_at : float option;
+  mutable restore_done_at : float option;
+  mutable captures_taken : int;
+  mutable restores_applied : int;
+  mutable frames_rebuilt : int;
 }
 
 let max_stack_depth = 4096
@@ -77,6 +86,13 @@ let instr_count t = t.instrs_executed
 let stack_depth t = t.depth
 let divulged t = t.divulged_image
 let signal_handled t = Option.is_some t.handler
+
+let signal_handled_at t = t.signal_handled_at
+let capture_started_at t = t.capture_started_at
+let restore_done_at t = t.restore_done_at
+let captures_taken t = t.captures_taken
+let restores_applied t = t.restores_applied
+let frames_rebuilt t = t.frames_rebuilt
 
 let current_proc t =
   match t.stack with [] -> None | f :: _ -> Some f.rproc.rp_source.pc_name
@@ -345,6 +361,9 @@ let capture t frame args =
           | R.Ralv _ -> runtime "mh_capture takes expressions")
         rest
     in
+    if t.capture_records = [] then
+      t.capture_started_at <- Some (t.io.io_now ());
+    t.captures_taken <- t.captures_taken + 1;
     t.capture_records <- { Image.location; values } :: t.capture_records
   | _ -> runtime "mh_capture: missing location"
 
@@ -415,7 +434,10 @@ let restore t frame args =
         | R.Raexpr _ -> runtime "mh_restore takes lvalues"
       in
       assign (R.Ralv loc_lv) (Value.Vint record.location);
-      List.iter2 assign targets record.values)
+      List.iter2 assign targets record.values;
+      t.restores_applied <- t.restores_applied + 1;
+      if t.restore_records = [] then
+        t.restore_done_at <- Some (t.io.io_now ()))
   | _ -> runtime "mh_restore: missing location target"
 
 (* --------------------------------------------------------- builtins *)
@@ -502,6 +524,10 @@ let exec_instr t frame (instr : R.rinstr) =
     (* resume after the call instruction *)
     frame.pc <- frame.pc + 1;
     let new_frame = make_frame t frame rproc args ret in
+    if t.restore_records <> [] then
+      (* a call made while the restore buffer is non-empty is the restore
+         dispatch rebuilding the activation-record stack *)
+      t.frames_rebuilt <- t.frames_rebuilt + 1;
     t.stack <- new_frame :: t.stack;
     t.depth <- t.depth + 1
   | Rreturn e ->
@@ -537,6 +563,7 @@ let run_pending_signal t =
       (* The handler runs as an interrupt: its frame is pushed without
          advancing the interrupted frame's pc. *)
       let frame = entry_frame rproc in
+      t.signal_handled_at <- Some (t.io.io_now ());
       t.stack <- frame :: t.stack;
       t.depth <- t.depth + 1
   end
@@ -639,7 +666,13 @@ let clone t ~io =
     status_attr = t.status_attr;
     io;
     instrs_executed = t.instrs_executed;
-    tracer = None }
+    tracer = None;
+    signal_handled_at = t.signal_handled_at;
+    capture_started_at = t.capture_started_at;
+    restore_done_at = t.restore_done_at;
+    captures_taken = t.captures_taken;
+    restores_applied = t.restores_applied;
+    frames_rebuilt = t.frames_rebuilt }
 
 let replace_proc_code t (code : Ir.proc_code) =
   if not t.procs_local then begin
@@ -671,7 +704,10 @@ let create ?(status_attr = "normal") ~io ?resolved (prog : Ast.program) =
       stack = []; depth = 0; heap = Hashtbl.create 16;
       next_block = 0; mstatus = Ready; pending_signal = false; handler = None;
       capture_records = []; restore_records = []; divulged_image = None;
-      status_attr; io; instrs_executed = 0; tracer = None }
+      status_attr; io; instrs_executed = 0; tracer = None;
+      signal_handled_at = None; capture_started_at = None;
+      restore_done_at = None; captures_taken = 0; restores_applied = 0;
+      frames_rebuilt = 0 }
   in
   let scratch_frame =
     { rproc = R.scratch_proc; slots = [||]; pc = 0; ret_slot = None }

@@ -65,6 +65,32 @@ val signal_handled : t -> bool
 val instr_count : t -> int
 (** Total instructions executed (the virtual-time cost measure). *)
 
+(** {2 Observability}
+
+    Virtual-time stamps of the capture/restore lifecycle, read from the
+    machine's [io_now]. Passive: nothing here affects execution. *)
+
+val signal_handled_at : t -> float option
+(** When the pending reconfiguration signal was consumed and its handler
+    frame pushed. *)
+
+val capture_started_at : t -> float option
+(** When the first [mh_capture] of the current capture ran. *)
+
+val restore_done_at : t -> float option
+(** When the last restore record was consumed ([mh_restore] emptied the
+    buffer). *)
+
+val captures_taken : t -> int
+(** Activation records captured over the machine's lifetime. *)
+
+val restores_applied : t -> int
+(** Restore records consumed by [mh_restore]. *)
+
+val frames_rebuilt : t -> int
+(** Frames pushed by the restore dispatch (calls made while the restore
+    buffer was non-empty). *)
+
 val stack_depth : t -> int
 
 val current_proc : t -> string option

@@ -1,8 +1,74 @@
 module P = Primitives
 module Bus = Dr_bus.Bus
 module Image = Dr_state.Image
+module Metrics = Dr_obs.Metrics
+module Machine = Dr_interp.Machine
 
 type outcome = (string, string) result
+
+(* --------------------------------------------------------------- spans *)
+
+(* Disruption-window spans. Each replace/migrate/replicate attempt opens
+   a root span at signal time; at divulge time the old machine's
+   virtual-time stamps decompose the window into
+
+     signal  — signal sent -> handler frame pushed
+     drain   — handler pushed -> first mh_capture (unwinding to a point)
+     capture — first mh_capture -> image divulged
+     translate — zero-width marker carrying byte sizes
+     restore — deposit -> the clone's last mh_restore (lazy: the clone
+               executes its restore dispatch after the script returns)
+
+   Span construction reads clocks and machine stamps only — it never
+   schedules events or touches the trace, so metrics-on runs replay the
+   exact golden event sequence. *)
+
+let open_span bus ~kind ~attrs =
+  match Bus.metrics bus with
+  | None -> None
+  | Some r -> Some (Metrics.span r ~attrs ~kind ~start:(Bus.now bus) ())
+
+let fail_span bus sp reason =
+  match sp with
+  | None -> ()
+  | Some s ->
+    Metrics.set_attr s "outcome" "error";
+    Metrics.set_attr s "reason" reason;
+    Metrics.finish s ~at:(Bus.now bus)
+
+(* Children with concrete times, built at divulge time from the old
+   machine's stamps; the restore child (and the root) end lazily when
+   the restored machine consumes its last record. *)
+let divulge_children bus sp ~t0 ~old_machine ~restored_instance ~bytes_in
+    ~bytes_out =
+  match sp with
+  | None -> ()
+  | Some s ->
+    let t_div = Bus.now bus in
+    let t_sig = Option.value ~default:t0 (Machine.signal_handled_at old_machine) in
+    let t_cap =
+      Option.value ~default:t_div (Machine.capture_started_at old_machine)
+    in
+    let interval kind a b =
+      Metrics.finish (Metrics.child s ~kind ~start:a ()) ~at:b
+    in
+    interval "signal" t0 t_sig;
+    interval "drain" t_sig t_cap;
+    interval "capture" t_cap t_div;
+    let tr = Metrics.child s ~kind:"translate" ~start:t_div () in
+    Metrics.set_attr tr "bytes_in" (string_of_int bytes_in);
+    Metrics.set_attr tr "bytes_out" (string_of_int bytes_out);
+    Metrics.finish tr ~at:t_div;
+    let rs = Metrics.child s ~kind:"restore" ~start:t_div () in
+    Metrics.set_attr s "outcome" "ok";
+    match Bus.machine bus ~instance:restored_instance with
+    | Some clone ->
+      let done_at () = Machine.restore_done_at clone in
+      Metrics.finish_with rs done_at;
+      Metrics.finish_with s done_at
+    | None ->
+      Metrics.finish rs ~at:t_div;
+      Metrics.finish s ~at:t_div
 
 type retry = { attempts : int; backoff : float; alt_hosts : string list }
 
@@ -44,8 +110,8 @@ let rebind_batch (cap : P.module_cap) ~new_instance =
    the journal back, leaving the old configuration fully routed. On the
    success path the journal commits silently, so the trace is exactly
    the Fig. 5 sequence it always was. *)
-let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline
-    ?(retry = no_retry) ~on_done () =
+let replace bus ?(span_kind = "replace") ~instance ~new_instance ?new_module
+    ?new_host ?deadline ?(retry = no_retry) ~on_done () =
   let rec attempt n ~host_override =
     let finish outcome =
       match outcome with
@@ -76,6 +142,14 @@ let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline
       in
       record bus "replace %s: %s on %s -> %s: %s on %s" instance
         cap0.cap_module cap0.cap_host new_instance module_name host;
+      let t0 = Bus.now bus in
+      let sp =
+        open_span bus ~kind:span_kind
+          ~attrs:
+            [ ("instance", instance); ("new_instance", new_instance);
+              ("module", module_name); ("src_host", cap0.cap_host);
+              ("dst_host", host); ("attempt", string_of_int n) ]
+      in
       let j =
         Journal.create bus
           ~label:(Printf.sprintf "replace %s -> %s" instance new_instance)
@@ -84,6 +158,9 @@ let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline
       let conclude outcome =
         if not !settled then begin
           settled := true;
+          (match outcome with
+          | Error e -> fail_span bus sp e
+          | Ok _ -> ());
           finish outcome
         end
       in
@@ -93,6 +170,10 @@ let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline
       in
       Journal.arm_divulge j ~instance (fun image ->
           if not !settled then
+            (* Grab the old machine's handle now, before [Journal.kill]
+               removes the instance — its virtual-time stamps decompose
+               the disruption window after it is gone. *)
+            let old_machine = Bus.machine bus ~instance in
             (* Re-snapshot NOW: other reconfigurations may have rebound
                the module's interfaces while it was travelling to its
                reconfiguration point, and the batch must edit the
@@ -139,6 +220,13 @@ let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline
                     ~new_instance ~fence:false;
                   Bus.deposit_state bus ~instance:new_instance ~expect:d0
                     image';
+                  (match old_machine with
+                  | Some om ->
+                    divulge_children bus sp ~t0 ~old_machine:om
+                      ~restored_instance:new_instance
+                      ~bytes_in:(Image.byte_size image)
+                      ~bytes_out:(Image.byte_size image')
+                  | None -> ());
                   Journal.kill j ~instance ~module_name:cap.cap_module
                     ~host:cap.cap_host ?spec:cap.cap_spec ~image ();
                   Journal.commit j;
@@ -167,7 +255,7 @@ let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline
   attempt 1 ~host_override:None
 
 let migrate bus ~instance ~new_instance ~new_host ~on_done () =
-  replace bus ~instance ~new_instance ~new_host ~on_done ()
+  replace bus ~span_kind:"migrate" ~instance ~new_instance ~new_host ~on_done ()
 
 let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
   match P.obj_cap bus ~instance with
@@ -176,15 +264,25 @@ let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
     let replica_host = Option.value ~default:cap0.cap_host replica_host in
     record bus "replicate %s -> %s on %s" instance replica_instance
       replica_host;
+    let t0 = Bus.now bus in
+    let sp =
+      open_span bus ~kind:"replicate"
+        ~attrs:
+          [ ("instance", instance); ("replica_instance", replica_instance);
+            ("module", cap0.cap_module); ("src_host", cap0.cap_host);
+            ("dst_host", replica_host) ]
+    in
     let j =
       Journal.create bus
         ~label:(Printf.sprintf "replicate %s -> %s" instance replica_instance)
     in
     Journal.arm_divulge j ~instance (fun image ->
+        let old_machine = Bus.machine bus ~instance in
         (* re-snapshot: bindings may have changed while waiting *)
         match P.obj_cap bus ~instance with
         | Error e ->
           Journal.rollback j ~reason:e;
+          fail_span bus sp e;
           on_done (Error e)
         | Ok cap -> (
           Journal.note_divulged j ~cap ~image;
@@ -208,9 +306,20 @@ let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
           with
           | Error e ->
             Journal.rollback j ~reason:e;
+            fail_span bus sp e;
             on_done (Error e)
           | Ok () -> (
             Bus.deposit_state bus ~instance image;
+            (* phase 1 restored the original in place: decompose the
+               window against it now; the replica adds its own lazy
+               restore child below *)
+            (match old_machine with
+            | Some om ->
+              divulge_children bus sp ~t0 ~old_machine:om
+                ~restored_instance:instance
+                ~bytes_in:(Image.byte_size image)
+                ~bytes_out:(Image.byte_size image)
+            | None -> ());
             List.iter
               (fun (iface, values) ->
                 List.iter
@@ -229,6 +338,7 @@ let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
             in
             let fail e =
               Journal.rollback j2 ~reason:e;
+              fail_span bus sp e;
               on_done (Error e)
             in
             match
@@ -245,6 +355,15 @@ let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
               | Error e -> fail e
               | Ok () ->
                 Bus.deposit_state bus ~instance:replica_instance image';
+                (match sp, Bus.machine bus ~instance:replica_instance with
+                | Some s, Some rm ->
+                  let rs =
+                    Metrics.child s ~kind:"replica_restore"
+                      ~attrs:[ ("instance", replica_instance) ]
+                      ~start:(Bus.now bus) ()
+                  in
+                  Metrics.finish_with rs (fun () -> Machine.restore_done_at rm)
+                | _ -> ());
                 (* duplicate the original's bindings for the replica *)
                 List.iter
                   (fun ((src : Bus.endpoint), dst) ->
@@ -271,6 +390,12 @@ let replace_stateless bus ~instance ~new_instance ?new_module ?new_host
     let host = Option.value ~default:cap.cap_host new_host in
     record bus "replace-stateless %s -> %s: %s on %s" instance new_instance
       module_name host;
+    let sp =
+      open_span bus ~kind:"replace_stateless"
+        ~attrs:
+          [ ("instance", instance); ("new_instance", new_instance);
+            ("module", module_name); ("dst_host", host) ]
+    in
     let j =
       Journal.create bus
         ~label:
@@ -283,6 +408,7 @@ let replace_stateless bus ~instance ~new_instance ?new_module ?new_host
     with
     | Error e ->
       Journal.rollback j ~reason:e;
+      fail_span bus sp e;
       Error e
     | Ok () ->
       Journal.rebind j batch;
@@ -295,6 +421,12 @@ let replace_stateless bus ~instance ~new_instance ?new_module ?new_host
         ?spec:cap.cap_spec ();
       Journal.commit j;
       record bus "replace-stateless %s -> %s complete" instance new_instance;
+      (* synchronous and stateless: the whole window is one instant *)
+      (match sp with
+      | Some s ->
+        Metrics.set_attr s "outcome" "ok";
+        Metrics.finish s ~at:(Bus.now bus)
+      | None -> ());
       Ok new_instance)
 
 let add_module bus ~instance ~module_name ~host ?spec ~binds () =

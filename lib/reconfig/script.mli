@@ -30,6 +30,7 @@ val no_retry : retry
 
 val replace :
   Dr_bus.Bus.t ->
+  ?span_kind:string ->
   instance:string ->
   new_instance:string ->
   ?new_module:string ->
@@ -56,7 +57,12 @@ val replace :
     target has not divulged within [deadline] of the script starting
     (it is stuck away from its reconfiguration points, or crashed), the
     attempt is rolled back and fails. [retry] re-runs failed attempts
-    after a virtual-time backoff, optionally cycling [alt_hosts]. *)
+    after a virtual-time backoff, optionally cycling [alt_hosts].
+
+    When the bus carries a metrics registry ({!Dr_bus.Bus.set_metrics}),
+    every attempt opens a span named [span_kind] ("replace" by default;
+    {!migrate} passes "migrate") whose children decompose the disruption
+    window: signal, drain, capture, translate, restore. *)
 
 val migrate :
   Dr_bus.Bus.t ->

@@ -1,0 +1,87 @@
+module Metrics = Dr_obs.Metrics
+
+let labels_str labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+let attr attrs name = List.assoc_opt name attrs
+
+let span_title s =
+  let attrs = Metrics.span_attrs s in
+  let who =
+    match (attr attrs "instance", attr attrs "new_instance") with
+    | Some a, Some b -> Printf.sprintf " %s -> %s" a b
+    | Some a, None -> " " ^ a
+    | None, _ -> ""
+  in
+  let hosts =
+    match (attr attrs "src_host", attr attrs "dst_host") with
+    | Some a, Some b when not (String.equal a b) ->
+      Printf.sprintf " (%s => %s)" a b
+    | _ -> ""
+  in
+  Metrics.span_kind s ^ who ^ hosts
+
+let rec render_span b ~now ~indent ~total s =
+  let start = Metrics.span_start s in
+  let ended, stop =
+    match Metrics.span_end s with Some e -> (true, e) | None -> (false, now)
+  in
+  let duration = stop -. start in
+  let pad = String.make indent ' ' in
+  let share =
+    if indent = 0 || total <= 0. then ""
+    else Printf.sprintf " (%2.0f%%)" (100. *. duration /. total)
+  in
+  Buffer.add_string b
+    (Printf.sprintf "%s%-12s %8.2f .. %8.2f  =%7.2f%s%s\n" pad
+       (if indent = 0 then span_title s else Metrics.span_kind s)
+       start stop duration share
+       (if ended then "" else "  [open]"));
+  (match attr (Metrics.span_attrs s) "outcome" with
+  | Some "error" ->
+    let reason =
+      Option.value ~default:"?" (attr (Metrics.span_attrs s) "reason")
+    in
+    Buffer.add_string b (Printf.sprintf "%s  !! failed: %s\n" pad reason)
+  | _ -> ());
+  List.iter
+    (render_span b ~now ~indent:(indent + 2) ~total:duration)
+    (Metrics.span_children s)
+
+let render_spans ~now registry =
+  let b = Buffer.create 512 in
+  (match Metrics.roots registry with
+  | [] -> Buffer.add_string b "no reconfiguration spans recorded\n"
+  | roots ->
+    Buffer.add_string b "disruption windows (virtual time):\n";
+    List.iter (fun s -> render_span b ~now ~indent:0 ~total:0. s) roots);
+  Buffer.contents b
+
+let render ~now registry =
+  Metrics.run_collectors registry;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (render_spans ~now registry);
+  (match Metrics.counters registry with
+  | [] -> ()
+  | counters ->
+    Buffer.add_string b "\ncounters:\n";
+    List.iter
+      (fun (name, labels, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %s%s = %d\n" name (labels_str labels) v))
+      counters);
+  (match Metrics.gauges registry with
+  | [] -> ()
+  | gauges ->
+    Buffer.add_string b "\ngauges:\n";
+    List.iter
+      (fun (name, labels, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %s%s = %g\n" name (labels_str labels) v))
+      gauges);
+  Buffer.contents b

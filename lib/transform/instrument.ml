@@ -67,6 +67,117 @@ let check_reserved (program : Ast.program) =
          "%s %s collides with a name reserved by the transformation" kind name)
 
 (* ------------------------------------------------------------------ *)
+(* α-renaming of shadowed globals.                                     *)
+(*                                                                     *)
+(* [main]'s capture list is params @ locals @ globals: a local of main *)
+(* that shadows a module global appears twice in the list, and both    *)
+(* occurrences resolve to the local slot — so the global's value is    *)
+(* captured as a duplicate of the local and silently lost across a     *)
+(* reconfiguration. Shadowing is frame-entry-wide in MiniProc (locals  *)
+(* are function-scoped and the resolver prefers the frame slot for the *)
+(* whole body), so every occurrence of the name in main's body denotes *)
+(* the local: renaming the local throughout the body is semantics-     *)
+(* preserving. Programs without shadowing pass through untouched.      *)
+
+let rec rename_expr m (e : Ast.expr) : Ast.expr =
+  let var n = Option.value ~default:n (Hashtbl.find_opt m n) in
+  match e with
+  | Int _ | Float _ | Bool _ | Str _ | Null -> e
+  | Var n -> Var (var n)
+  | Index (a, i) -> Index (rename_expr m a, rename_expr m i)
+  | Addr (n, i) -> Addr (var n, rename_expr m i)
+  | Unop (o, e) -> Unop (o, rename_expr m e)
+  | Binop (o, a, b) -> Binop (o, rename_expr m a, rename_expr m b)
+  | Call (f, args) -> Call (f, List.map (rename_expr m) args)
+  | Builtin (f, args) -> Builtin (f, List.map (rename_expr m) args)
+
+let rename_lvalue m (lv : Ast.lvalue) : Ast.lvalue =
+  let var n = Option.value ~default:n (Hashtbl.find_opt m n) in
+  match lv with
+  | Lvar n -> Lvar (var n)
+  | Lindex (n, i) -> Lindex (var n, rename_expr m i)
+
+let rename_arg m (a : Ast.arg) : Ast.arg =
+  match a with
+  | Aexpr e -> Aexpr (rename_expr m e)
+  | Alv lv -> Alv (rename_lvalue m lv)
+
+let rec rename_stmt m (s : Ast.stmt) : Ast.stmt =
+  let var n = Option.value ~default:n (Hashtbl.find_opt m n) in
+  let kind : Ast.stmt_kind =
+    match s.kind with
+    | Decl (n, ty, init) -> Decl (var n, ty, Option.map (rename_expr m) init)
+    | Assign (lv, e) -> Assign (rename_lvalue m lv, rename_expr m e)
+    | If (c, t, e) ->
+      If (rename_expr m c, List.map (rename_stmt m) t, List.map (rename_stmt m) e)
+    | While (c, b) -> While (rename_expr m c, List.map (rename_stmt m) b)
+    | CallS (f, args) -> CallS (f, List.map (rename_expr m) args)
+    | Return e -> Return (Option.map (rename_expr m) e)
+    | (Goto _ | Skip) as k -> k
+    | Print es -> Print (List.map (rename_expr m) es)
+    | Sleep e -> Sleep (rename_expr m e)
+    | BuiltinS (f, args) -> BuiltinS (f, List.map (rename_arg m) args)
+  in
+  { s with kind }
+
+let rename_shadowed_globals (program : Ast.program) =
+  let declared = Hashtbl.create 64 in
+  let note n = Hashtbl.replace declared n () in
+  List.iter (fun (g : Ast.global) -> note g.gname) program.globals;
+  List.iter
+    (fun (p : Ast.proc) ->
+      note p.proc_name;
+      List.iter (fun (prm : Ast.param) -> note prm.pname) p.params;
+      Ast.iter_stmts
+        (fun s ->
+          Option.iter note s.label;
+          match s.kind with Decl (n, _, _) -> note n | _ -> ())
+        p.body)
+    program.procs;
+  let fresh base =
+    let rec go k =
+      let candidate = Printf.sprintf "%s_l%d" base k in
+      if Hashtbl.mem declared candidate then go (k + 1)
+      else begin
+        note candidate;
+        candidate
+      end
+    in
+    go 0
+  in
+  let rename_proc (p : Ast.proc) =
+    let is_global n = Option.is_some (Ast.find_global program n) in
+    let colliding =
+      List.sort_uniq String.compare
+        (List.filter_map
+           (fun (prm : Ast.param) ->
+             if is_global prm.pname then Some prm.pname else None)
+           p.params
+        @ List.filter is_global (List.map fst (Typecheck.locals_of_proc p)))
+    in
+    if colliding = [] then p
+    else begin
+      let m = Hashtbl.create 4 in
+      List.iter (fun n -> Hashtbl.replace m n (fresh n)) colliding;
+      { p with
+        params =
+          List.map
+            (fun (prm : Ast.param) ->
+              match Hashtbl.find_opt m prm.pname with
+              | Some n -> { prm with pname = n }
+              | None -> prm)
+            p.params;
+        body = List.map (rename_stmt m) p.body }
+    end
+  in
+  { program with
+    procs =
+      List.map
+        (fun (p : Ast.proc) ->
+          if String.equal p.proc_name "main" then rename_proc p else p)
+        program.procs }
+
+(* ------------------------------------------------------------------ *)
 (* Capture sets.                                                       *)
 
 (* Parameters then locals, in declaration order; for main, also the
@@ -105,12 +216,24 @@ let trim_by_liveness program (proc : Ast.proc) (graph : Rg.t) base =
       List.mem v needed || List.mem v ref_params || List.mem v globals)
     base
 
-let validate_point_vars (points : point_spec list) capture_sets =
+let validate_point_vars (points : point_spec list) capture_table =
+  (* Defense in depth: {!Rg.build} already rejects a point naming an
+     unknown procedure, but silently skipping here would let a mistyped
+     name validate its declared state variables against nothing — and
+     capture an empty set downstream. Fail loudly. *)
+  let no_capture_set pt_proc pt_label =
+    Error
+      (Printf.sprintf
+         "reconfiguration point %s.%s names procedure %s, which has no \
+          capture set (unknown procedure, or not on any path to a \
+          reconfiguration point)"
+         pt_proc pt_label pt_proc)
+  in
   let rec check = function
     | [] -> Ok ()
     | { pt_proc; pt_label; pt_vars = Some vars } :: rest -> (
-      match List.assoc_opt pt_proc capture_sets with
-      | None -> check rest
+      match Hashtbl.find_opt capture_table pt_proc with
+      | None -> no_capture_set pt_proc pt_label
       | Some captured ->
         let missing = List.filter (fun v -> not (List.mem v captured)) vars in
         if missing = [] then check rest
@@ -120,7 +243,9 @@ let validate_point_vars (points : point_spec list) capture_sets =
                "reconfiguration point %s.%s lists state variable(s) %s not \
                 present in the capture set of %s"
                pt_proc pt_label (String.concat ", " missing) pt_proc))
-    | { pt_vars = None; _ } :: rest -> check rest
+    | { pt_proc; pt_label; pt_vars = None } :: rest ->
+      if Hashtbl.mem capture_table pt_proc then check rest
+      else no_capture_set pt_proc pt_label
   in
   check points
 
@@ -347,6 +472,9 @@ let prepare ?(options = default_options) (program : Ast.program) ~points =
            errors)
   in
   let* () = check_reserved program in
+  (* From here on, work on the α-renamed program: main's locals no
+     longer shadow module globals, so capture lists are duplicate-free. *)
+  let program = rename_shadowed_globals program in
   let graph_points = List.map (fun p -> (p.pt_proc, p.pt_label)) points in
   let* graph = Rg.build program ~points:graph_points in
   let base_sets =
@@ -367,17 +495,24 @@ let prepare ?(options = default_options) (program : Ast.program) ~points =
         (p.proc_name, vars))
       base_sets
   in
+  (* Pre-built lookup tables: O(1) per point/procedure instead of an
+     assoc scan over every capture set. *)
+  let base_table = Hashtbl.create 16 in
+  List.iter
+    (fun ((p : Ast.proc), base) -> Hashtbl.replace base_table p.proc_name base)
+    base_sets;
+  let capture_table = Hashtbl.create 16 in
+  List.iter
+    (fun (name, vars) -> Hashtbl.replace capture_table name vars)
+    capture_sets;
   (* Spec-declared state variables are checked against the full
      (untrimmed) set: liveness may legitimately prune a declared variable
      that is dead at the point. *)
-  let* () =
-    validate_point_vars points
-      (List.map (fun ((p : Ast.proc), base) -> (p.proc_name, base)) base_sets)
-  in
+  let* () = validate_point_vars points base_table in
   let procs =
     List.map
       (fun (p : Ast.proc) ->
-        match List.assoc_opt p.proc_name capture_sets with
+        match Hashtbl.find_opt capture_table p.proc_name with
         | Some vars -> rewrite_proc ~options program graph vars p
         | None -> p)
       program.procs

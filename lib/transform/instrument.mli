@@ -60,6 +60,14 @@ val prepare :
   points:point_spec list ->
   (prepared, string) result
 
+val validate_point_vars :
+  point_spec list -> (string, string list) Hashtbl.t -> (unit, string) result
+(** Check each point's declared state variables ([pt_vars]) against the
+    capture-set table. A point naming a procedure absent from the table
+    is an error (never a silent skip): {!Dr_analysis.Reconfig_graph}
+    already rejects unknown procedures, and this guards the same
+    invariant at the capture-set layer. Exposed for direct testing. *)
+
 val generated_label : int -> string
 (** The label the transform places after call-edge [i] ("_Li"). *)
 

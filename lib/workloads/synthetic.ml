@@ -81,6 +81,51 @@ proc main() {
 let deeprec_points =
   [ { Dr_transform.Instrument.pt_proc = "dive"; pt_label = "R"; pt_vars = None } ]
 
+(* [deeprec] made bus-hostable and widened: every activation record
+   carries [payload] extra live int locals, so the captured image grows
+   as depth x payload. The payload vars are read after the recursive
+   call (keeping them live across it, hence in every frame's capture
+   set) and in the bottom loop (keeping the deepest frame's copies
+   live at R). *)
+let deeprec_payload ~depth ~payload =
+  let line f = String.concat "\n  " (List.init payload f) in
+  let decls = line (fun i -> Printf.sprintf "var p%d: int;" i) in
+  let inits = line (fun i -> Printf.sprintf "p%d = depth * 7 + %d;" i i) in
+  let sum =
+    String.concat " + " ("here" :: List.init payload (Printf.sprintf "p%d"))
+  in
+  parse "deeprec_payload"
+    (Printf.sprintf
+       {|
+module deeppay;
+
+var ticks: int = 0;
+
+proc dive(depth: int, ref out: int) {
+  var here: int;
+  %s
+  here = depth * 3;
+  %s
+  if (depth <= 0) {
+    while (true) {
+      R: out = out + 1;
+      ticks = ticks + %s;
+      sleep(1);
+    }
+  }
+  dive(depth - 1, out);
+  out = out + %s;
+}
+
+proc main() {
+  var total: int;
+  mh_init();
+  total = 0;
+  dive(%d, total);
+}
+|}
+       decls inits sum sum depth)
+
 (* A loop whose inner body recomputes a loop-invariant value each
    iteration. With no label in the inner loop the optimiser can hoist
    it; a reconfiguration point inside pins it (paper §4: points can

@@ -26,6 +26,12 @@ val deeprec : depth:int -> Dr_lang.Ast.program
 
 val deeprec_points : Dr_transform.Instrument.point_spec list
 
+val deeprec_payload : depth:int -> payload:int -> Dr_lang.Ast.program
+(** {!deeprec} made bus-hostable (module [deeppay], calls [mh_init])
+    with [payload] extra int locals live in every activation record, so
+    the captured state image scales as depth x payload. Drives the
+    disruption-window benchmark. *)
+
 val hoistable :
   ?point:[ `No | `Inner | `Outer ] ->
   rounds:int ->

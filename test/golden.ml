@@ -8,11 +8,18 @@ module Bus = Dr_bus.Bus
 
 let dump bus = Fmt.str "%a" Dr_sim.Trace.dump (Bus.trace bus)
 
+(* [~metrics:true] attaches a metrics registry before the scenario runs.
+   The registry is passive by design, so every golden below must come
+   out byte-identical either way — that's the non-perturbation test. *)
+let observe metrics bus =
+  if metrics then Bus.set_metrics bus (Dr_obs.Metrics.create ())
+
 (* The paper's monitor application: run, migrate compute to the
    big-endian host mid-execution, keep running. *)
-let monitor_trace () =
+let monitor_trace ?(metrics = false) () =
   let system = Dr_workloads.Monitor.load () in
   let bus = Dr_workloads.Monitor.start system in
+  observe metrics bus;
   Bus.run ~until:12.0 bus;
   (match
      Dynrecon.System.migrate bus ~instance:"compute" ~new_instance:"c2"
@@ -24,9 +31,10 @@ let monitor_trace () =
   dump bus
 
 (* The evolving token ring: run, splice a member in, keep running. *)
-let ring_trace () =
+let ring_trace ?(metrics = false) () =
   let system = Dr_workloads.Ring.load () in
   let bus = Dr_workloads.Ring.start system in
+  observe metrics bus;
   Bus.run ~until:30.0 bus;
   (match
      Dr_workloads.Ring.insert_member bus ~instance:"d" ~host:"hostC" ~after:"c"
@@ -41,13 +49,14 @@ let ring_trace () =
    of a transactional replacement's signal->divulge window. Pins the
    fault plane's PRNG consumption order and the journal's rollback
    records byte-for-byte. *)
-let chaos_trace () =
+let chaos_trace ?(metrics = false) () =
   let system = Dr_workloads.Ring.load () in
   let plan =
     Dr_workloads.Ring.chaos_plan ~loss:0.05 ~host_crash:("hostB", 8.5)
       ~host_recover:20.0 ()
   in
   let bus = Dr_workloads.Ring.start_chaos ~seed:7 ~plan system in
+  observe metrics bus;
   Bus.run ~until:8.0 bus;
   (match
      Dr_reconfig.Script.run_sync bus (fun ~on_done ->

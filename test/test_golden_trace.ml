@@ -30,9 +30,26 @@ let test_monitor () = check_golden "golden_monitor.trace" (Golden.monitor_trace 
 let test_ring () = check_golden "golden_ring.trace" (Golden.ring_trace ())
 let test_chaos () = check_golden "golden_chaos.trace" (Golden.chaos_trace ())
 
+(* The metrics plane must be invisible to the simulation: the same
+   scenarios, replayed with a registry attached, must still match the
+   goldens byte-for-byte. *)
+let test_monitor_metrics () =
+  check_golden "golden_monitor.trace" (Golden.monitor_trace ~metrics:true ())
+
+let test_ring_metrics () =
+  check_golden "golden_ring.trace" (Golden.ring_trace ~metrics:true ())
+
+let test_chaos_metrics () =
+  check_golden "golden_chaos.trace" (Golden.chaos_trace ~metrics:true ())
+
 let () =
   Alcotest.run "golden_trace"
     [ ( "byte-identical to seed",
         [ Alcotest.test_case "monitor migration" `Quick test_monitor;
           Alcotest.test_case "ring insertion" `Quick test_ring;
-          Alcotest.test_case "seeded chaos replace" `Quick test_chaos ] ) ]
+          Alcotest.test_case "seeded chaos replace" `Quick test_chaos ] );
+      ( "byte-identical with metrics on",
+        [ Alcotest.test_case "monitor migration" `Quick test_monitor_metrics;
+          Alcotest.test_case "ring insertion" `Quick test_ring_metrics;
+          Alcotest.test_case "seeded chaos replace" `Quick test_chaos_metrics ]
+      ) ]

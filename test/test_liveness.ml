@@ -194,6 +194,31 @@ let test_used_anywhere () =
   in
   Alcotest.(check (list string)) "all" [ "a"; "x" ] (Liveness.used_anywhere info)
 
+let test_noinit_decl_is_not_a_def () =
+  (* A declaration without an initialiser lowers to no instruction: the
+     frame slot keeps the previous iteration's value around the loop
+     back edge, so the bare decl must not kill liveness above it. *)
+  let info =
+    analyze
+      {|
+module t;
+proc main() {
+  var i: int = 0;
+  var s: int = 0;
+  while (i < 5) {
+    R: skip;
+    var t: int;
+    s = s + t;
+    t = i * 10;
+    i = i + 1;
+  }
+  print(s);
+}
+|}
+      "main"
+  in
+  check_live "t live at R" [ "i"; "s"; "t" ] info "R"
+
 let () =
   Alcotest.run "liveness"
     [ ( "dataflow",
@@ -207,4 +232,6 @@ let () =
           Alcotest.test_case "live after call" `Quick test_live_after_call;
           Alcotest.test_case "ref args" `Quick test_ref_args_defined;
           Alcotest.test_case "entry" `Quick test_entry_liveness;
-          Alcotest.test_case "used anywhere" `Quick test_used_anywhere ] ) ]
+          Alcotest.test_case "used anywhere" `Quick test_used_anywhere;
+          Alcotest.test_case "no-init decl is not a def" `Quick
+            test_noinit_decl_is_not_a_def ] ) ]

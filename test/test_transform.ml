@@ -446,6 +446,297 @@ let prop_prepare_total =
       | exception e ->
         QCheck2.Test.fail_reportf "prepare raised: %s" (Printexc.to_string e))
 
+(* ------------------------------------------------------------------ *)
+(* Capture/restore bug sweep: signal-timing differentials.
+
+   For every step count k we run the instrumented program standalone,
+   deliver the reconfiguration signal after k steps, restore the
+   divulged image into a clone, and require the combined output to
+   match an unsignalled reference run.  Running the sweep on both the
+   compiled machine and the AST reference machine makes each engine an
+   oracle for the other. *)
+
+type engine = {
+  eng_name : string;
+  eng_run_plain : Ast.program -> string list;
+  eng_run_signalled : Ast.program -> int -> string list * bool;
+      (* output incl. clone, and whether an image was divulged *)
+}
+
+let compiled_engine =
+  let module M = Dr_interp.Machine in
+  let finish label m =
+    M.run ~max_steps:1_000_000 m;
+    match M.status m with
+    | M.Halted -> ()
+    | s -> Alcotest.failf "%s not halted: %a" label M.pp_status s
+  in
+  { eng_name = "compiled";
+    eng_run_plain =
+      (fun program ->
+        let sio = Support.script_io () in
+        let m = M.create ~io:sio.Support.io program in
+        finish "reference" m;
+        Support.printed sio);
+    eng_run_signalled =
+      (fun program k ->
+        let sio = Support.script_io () in
+        let m = M.create ~io:sio.Support.io program in
+        let steps = ref 0 in
+        while M.status m = M.Ready && !steps < k do
+          M.step m;
+          incr steps
+        done;
+        M.deliver_signal m;
+        finish "signalled run" m;
+        match List.rev sio.Support.divulged with
+        | [] -> (Support.printed sio, false)
+        | [ image ] ->
+          let cio = Support.script_io () in
+          let clone = M.create ~status_attr:"clone" ~io:cio.Support.io program in
+          M.feed_image clone image;
+          finish "clone" clone;
+          (Support.printed sio @ Support.printed cio, true)
+        | images -> Alcotest.failf "divulged %d images" (List.length images)) }
+
+let ast_engine =
+  let module M = Dr_interp.Ast_machine in
+  let finish label m =
+    M.run ~max_steps:1_000_000 m;
+    match M.status m with
+    | M.Halted -> ()
+    | s -> Alcotest.failf "%s not halted: %a" label M.pp_status s
+  in
+  { eng_name = "ast";
+    eng_run_plain =
+      (fun program ->
+        let sio = Support.script_io () in
+        let m = M.create ~io:sio.Support.io program in
+        finish "reference" m;
+        Support.printed sio);
+    eng_run_signalled =
+      (fun program k ->
+        let sio = Support.script_io () in
+        let m = M.create ~io:sio.Support.io program in
+        let steps = ref 0 in
+        while M.status m = M.Ready && !steps < k do
+          M.step m;
+          incr steps
+        done;
+        M.deliver_signal m;
+        finish "signalled run" m;
+        match List.rev sio.Support.divulged with
+        | [] -> (Support.printed sio, false)
+        | [ image ] ->
+          let cio = Support.script_io () in
+          let clone = M.create ~status_attr:"clone" ~io:cio.Support.io program in
+          M.feed_image clone image;
+          finish "clone" clone;
+          (Support.printed sio @ Support.printed cio, true)
+        | images -> Alcotest.failf "divulged %d images" (List.length images)) }
+
+let signal_sweep ?(max_k = 150) ~options source points =
+  let prepared = Support.prepare ~options source points in
+  let program = prepared.I.prepared_program in
+  List.iter
+    (fun eng ->
+      let reference = eng.eng_run_plain program in
+      let any_divulged = ref false in
+      for k = 0 to max_k do
+        let prints, divulged = eng.eng_run_signalled program k in
+        if divulged then any_divulged := true;
+        if prints <> reference then
+          Alcotest.failf "[%s] k=%d: got [%s], want [%s]" eng.eng_name k
+            (String.concat "; " prints)
+            (String.concat "; " reference)
+      done;
+      Alcotest.(check bool)
+        (eng.eng_name ^ ": some signal divulged an image")
+        true !any_divulged)
+    [ compiled_engine; ast_engine ];
+  prepared
+
+(* Regression (liveness at back edges): a declaration without an
+   initialiser lowers to no instruction, so its frame slot carries the
+   previous iteration's value around the loop back edge.  The liveness
+   trim used to treat the bare decl as a definition and drop the
+   variable from the capture set at a point inside the loop. *)
+let test_noinit_decl_backedge () =
+  ignore
+    (signal_sweep
+       ~options:{ I.default_options with use_liveness = true }
+       {|module i;
+proc main() {
+  var i: int = 0;
+  var s: int = 0;
+  while (i < 5) {
+    R: skip;
+    var t: int;
+    s = s + t;
+    t = i * 10;
+    i = i + 1;
+  }
+  print(s);
+}|}
+       [ Support.point "main" "R" ])
+
+(* Same defect observed through a call edge instead of a point edge. *)
+let test_noinit_decl_call_edge () =
+  ignore
+    (signal_sweep
+       ~options:{ I.default_options with use_liveness = true }
+       {|module j;
+proc leaf() { R: skip; }
+proc main() {
+  var i: int = 0;
+  var s: int = 0;
+  while (i < 5) {
+    leaf();
+    var t: int;
+    s = s + t;
+    t = i * 10;
+    i = i + 1;
+  }
+  print(s);
+}|}
+       [ Support.point "leaf" "R" ])
+
+let shadowed_global_source =
+  {|module g;
+var counter: int = 100;
+proc tick() { counter = counter + 1; R: skip; }
+proc main() {
+  var counter: int = 0;
+  while (counter < 5) {
+    tick();
+    counter = counter + 1;
+  }
+  print(counter);
+  report();
+}
+proc report() { print(counter); }|}
+
+(* Regression (restore with shadowed names): main's capture list is
+   params @ locals @ globals, so a main local shadowing a module global
+   produced two records with the same name — and both capture and
+   restore resolved to the local slot, silently losing the global's
+   value across reconfiguration.  [prepare] now alpha-renames the
+   shadowing local first. *)
+let test_shadowed_global () =
+  List.iter
+    (fun use_liveness ->
+      ignore
+        (signal_sweep
+           ~options:{ I.default_options with use_liveness }
+           shadowed_global_source
+           [ Support.point "tick" "R" ]))
+    [ false; true ]
+
+(* The renamed local must appear in main's capture set alongside the
+   global, with no duplicate names left. *)
+let test_shadow_rename_in_capture_set () =
+  let prepared =
+    Support.prepare shadowed_global_source [ Support.point "tick" "R" ]
+  in
+  let main_set =
+    match List.assoc_opt "main" prepared.I.capture_sets with
+    | Some vars -> vars
+    | None -> Alcotest.failf "main has no capture set"
+  in
+  Alcotest.(check bool)
+    "renamed local captured" true
+    (List.mem "counter_l0" main_set);
+  Alcotest.(check bool) "global captured" true (List.mem "counter" main_set);
+  Alcotest.(check int) "no duplicate names"
+    (List.length main_set)
+    (List.length (List.sort_uniq String.compare main_set))
+
+(* Shadowing across a recursive procedure with two reconfiguration
+   points: the clone must rebuild the whole activation-record stack and
+   still keep the shadowed global distinct from main's local. *)
+let test_shadowed_global_recursive_two_points () =
+  ignore
+    (signal_sweep
+       ~options:{ I.default_options with use_liveness = true }
+       {|module g2;
+var depth: int = 0;
+proc dive(n: int, ref acc: int) {
+  var here: int = n * 10;
+  if (n > 0) {
+    dive(n - 1, acc);
+    R1: acc = acc + here;
+  }
+  depth = depth + 1;
+  R2: skip;
+}
+proc main() {
+  var depth: int = 0;
+  var total: int = 0;
+  while (depth < 3) {
+    dive(2, total);
+    depth = depth + 1;
+  }
+  print(depth);
+  print(total);
+  report();
+}
+proc report() { print(depth); }|}
+       [ Support.point "dive" "R1"; Support.point "dive" "R2" ])
+
+(* A local shadowing a parameter of the same procedure is statically
+   illegal (locals are function-scoped), so that variant of the hazard
+   cannot reach the transform at all. *)
+let test_local_shadowing_param_rejected () =
+  let errors =
+    Support.typecheck_errors
+      (Support.parse
+         {|module bad;
+proc f(x: int) {
+  var x: int = 0;
+  R: print(x);
+}
+proc main() { f(1); }|})
+  in
+  Alcotest.(check bool) "rejected" true (errors <> []);
+  Alcotest.(check bool) "mentions duplicate" true
+    (List.exists
+       (fun m ->
+         let has needle =
+           let nl = String.length needle and ml = String.length m in
+           let rec scan i = i + nl <= ml && (String.sub m i nl = needle || scan (i + 1)) in
+           scan 0
+         in
+         has "duplicate")
+       errors)
+
+(* Regression (silent empty capture set): a point naming a procedure
+   absent from the capture-set table must fail loudly, never validate
+   vacuously. *)
+let test_unknown_point_proc_loud () =
+  let table = Hashtbl.create 4 in
+  Hashtbl.replace table "main" [ "x"; "y" ];
+  (match
+     I.validate_point_vars
+       [ { I.pt_proc = "mian"; pt_label = "R"; pt_vars = Some [ "x" ] } ]
+       table
+   with
+  | Ok () -> Alcotest.failf "unknown procedure validated silently"
+  | Error msg ->
+    Alcotest.(check bool) "message names the procedure" true
+      (let needle = "mian" in
+       let nl = String.length needle and ml = String.length msg in
+       let rec scan i = i + nl <= ml && (String.sub msg i nl = needle || scan (i + 1)) in
+       scan 0));
+  (* and the same point without declared vars is still an error: the
+     table entry is missing, not merely unchecked *)
+  match
+    I.validate_point_vars
+      [ { I.pt_proc = "mian"; pt_label = "R"; pt_vars = None } ]
+      table
+  with
+  | Ok () -> Alcotest.failf "unknown procedure without pt_vars validated silently"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "transform"
     [ ( "structure",
@@ -471,4 +762,18 @@ let () =
         [ Alcotest.test_case "dummy arguments" `Quick test_dummy_arguments;
           Alcotest.test_case "liveness trimming" `Quick test_liveness_trims;
           Alcotest.test_case "transparency" `Quick test_transparency_hotloop ] );
+      ( "bug sweep",
+        [ Alcotest.test_case "no-init decl at back edge" `Quick
+            test_noinit_decl_backedge;
+          Alcotest.test_case "no-init decl at call edge" `Quick
+            test_noinit_decl_call_edge;
+          Alcotest.test_case "shadowed global" `Quick test_shadowed_global;
+          Alcotest.test_case "shadow rename in capture set" `Quick
+            test_shadow_rename_in_capture_set;
+          Alcotest.test_case "recursive two-point shadow" `Quick
+            test_shadowed_global_recursive_two_points;
+          Alcotest.test_case "local shadowing param rejected" `Quick
+            test_local_shadowing_param_rejected;
+          Alcotest.test_case "unknown point proc is loud" `Quick
+            test_unknown_point_proc_loud ] );
       ("properties", [ prop_prepare_total ]) ]
