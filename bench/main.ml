@@ -290,9 +290,7 @@ let () =
   let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
   if what = "tables" || what = "all" then Tables.all ();
   if what = "micro" || what = "all" then run_micro ();
-  if what = "scaling" then
-    if quick then Scaling.all ~sizes:[ 10; 50 ] ~events:20_000 ()
-    else Scaling.all ();
+  if what = "scaling" then Scaling.all ~quick ();
   if what = "chaos" then Chaos.all ~quick ();
   if what = "interp" then Interp_bench.all ~quick ();
   if what = "disruption" then Disruption.all ~quick ()

@@ -268,6 +268,16 @@ let reliable_arg =
 let timeline_arg =
   Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII timeline of the run.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the bus into N broker domains (default 1). Instances \
+           are assigned round-robin; cross-domain deliveries are batched \
+           per destination domain. Delivery contents and per-route order \
+           are unchanged at any shard count.")
+
 let metrics_arg =
   Arg.(
     value
@@ -292,12 +302,12 @@ let parse_hosts specs =
     specs
 
 let run_cmd =
-  let run mil srcs app until hosts migrate faults reliable trace timeline
-      metrics =
+  let run mil srcs app until hosts shards migrate faults reliable trace
+      timeline metrics =
     let system = match load_system mil srcs with Ok s -> s | Error e -> or_die (Error e) in
     let hosts = parse_hosts hosts in
     let bus =
-      match Dynrecon.System.start system ~app ~hosts () with
+      match Dynrecon.System.start system ~app ~hosts ~shards () with
       | Ok bus -> bus
       | Error e -> or_die (Error e)
     in
@@ -359,8 +369,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Deploy an application and simulate it.")
     Term.(
       const run $ mil_arg $ srcs_arg $ app_arg $ until_arg $ hosts_arg
-      $ migrate_arg $ faults_arg $ reliable_arg $ trace_arg $ timeline_arg
-      $ metrics_arg)
+      $ shards_arg $ migrate_arg $ faults_arg $ reliable_arg $ trace_arg
+      $ timeline_arg $ metrics_arg)
 
 let inspect_cmd =
   let run file =

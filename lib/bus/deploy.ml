@@ -2,28 +2,39 @@ module Spec = Dr_mil.Spec
 
 let ( let* ) = Result.bind
 
-let iface_role config app endpoint =
+(* Binding resolution works over pre-built Spec indexes: a
+   100k-instance application resolves two endpoints per bind, and a
+   linear [find_instance] scan per endpoint would make deployment
+   quadratic in the fleet size. *)
+let iface_role_indexed mod_index inst_index endpoint =
   let inst_name, if_name = endpoint in
-  match Spec.find_instance app inst_name with
+  match Hashtbl.find_opt inst_index inst_name with
   | None -> None
   | Some inst -> (
-    match Spec.find_module config inst.inst_module with
+    match Hashtbl.find_opt mod_index inst.Spec.inst_module with
     | None -> None
     | Some m ->
       Option.map (fun i -> i.Spec.role) (Spec.find_iface m if_name))
 
-let routes_of_bind config app (bind : Spec.binding_decl) =
-  match iface_role config app bind.b_from, iface_role config app bind.b_to with
+let routes_of_bind_indexed mod_index inst_index (bind : Spec.binding_decl) =
+  match
+    ( iface_role_indexed mod_index inst_index bind.b_from,
+      iface_role_indexed mod_index inst_index bind.b_to )
+  with
   | Some Spec.Client, Some Spec.Server ->
     [ (bind.b_from, bind.b_to); (bind.b_to, bind.b_from) ]
   | Some _, Some _ | None, _ | _, None -> [ (bind.b_from, bind.b_to) ]
 
-let host_for (config : Spec.config) (inst : Spec.instance_decl) ~default_host =
+let routes_of_bind config app (bind : Spec.binding_decl) =
+  routes_of_bind_indexed (Spec.index_modules config) (Spec.index_instances app)
+    bind
+
+let host_for mod_index (inst : Spec.instance_decl) ~default_host =
   match inst.inst_host with
   | Some h -> h
   | None -> (
-    match Spec.find_module config inst.inst_module with
-    | Some { machine = Some h; _ } -> h
+    match Hashtbl.find_opt mod_index inst.inst_module with
+    | Some { Spec.machine = Some h; _ } -> h
     | Some _ | None -> default_host)
 
 let deploy bus ~config ~app ~default_host =
@@ -37,31 +48,45 @@ let deploy bus ~config ~app ~default_host =
     | Some a -> Ok a
     | None -> Error (Printf.sprintf "no application %s in the configuration" app)
   in
-  (* Cross-check each instantiated module's program against its spec. *)
+  let mod_index = Spec.index_modules config in
+  let inst_index = Spec.index_instances application in
+  (* Cross-check each instantiated module's program against its spec —
+     once per distinct module, not once per instance: a mass deploy
+     instantiates the same few modules tens of thousands of times and
+     the check walks the whole program AST. *)
+  let checked : (string, (unit, string) result) Hashtbl.t = Hashtbl.create 8 in
+  let check_module name =
+    match Hashtbl.find_opt checked name with
+    | Some r -> r
+    | None ->
+      let r =
+        match Hashtbl.find_opt mod_index name with
+        | None -> Ok ()  (* caught by validate *)
+        | Some m -> (
+          match Bus.registered_program bus name with
+          | None ->
+            Error (Printf.sprintf "module %s has no registered program" name)
+          | Some program -> (
+            match Dr_mil.Validate.check_program_against_spec m program with
+            | Ok () -> Ok ()
+            | Error errors -> Error (String.concat "; " errors)))
+      in
+      Hashtbl.replace checked name r;
+      r
+  in
   let* () =
     List.fold_left
       (fun acc (inst : Spec.instance_decl) ->
         let* () = acc in
-        match Spec.find_module config inst.inst_module with
-        | None -> Ok ()  (* caught by validate *)
-        | Some m -> (
-          match Bus.registered_program bus inst.inst_module with
-          | None ->
-            Error
-              (Printf.sprintf "module %s has no registered program"
-                 inst.inst_module)
-          | Some program -> (
-            match Dr_mil.Validate.check_program_against_spec m program with
-            | Ok () -> Ok ()
-            | Error errors -> Error (String.concat "; " errors))))
+        check_module inst.inst_module)
       (Ok ()) application.instances
   in
   let* () =
     List.fold_left
       (fun acc (inst : Spec.instance_decl) ->
         let* () = acc in
-        let spec = Spec.find_module config inst.inst_module in
-        let host = host_for config inst ~default_host in
+        let spec = Hashtbl.find_opt mod_index inst.inst_module in
+        let host = host_for mod_index inst ~default_host in
         Bus.spawn bus ~instance:inst.inst_name ~module_name:inst.inst_module
           ~host ?spec ())
       (Ok ()) application.instances
@@ -70,6 +95,6 @@ let deploy bus ~config ~app ~default_host =
     (fun bind ->
       List.iter
         (fun (src, dst) -> Bus.add_route bus ~src ~dst)
-        (routes_of_bind config application bind))
+        (routes_of_bind_indexed mod_index inst_index bind))
     application.binds;
   Ok ()

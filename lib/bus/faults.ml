@@ -49,6 +49,21 @@ let install bus ~seed p =
   if p.fp_rules = [] && p.fp_jitter = 0.0 then Bus.clear_fault_hooks bus
   else begin
     let prng = Prng.create ~seed in
+    (* injection accounting, attributed to the victim's broker domain on
+       a sharded bus. Metrics are passive (no trace, no PRNG, no events)
+       and the lookup only runs when an injection actually fires, so the
+       fault decision stream is untouched. *)
+    let count_injection kind ~dst =
+      match Bus.metrics bus with
+      | None -> ()
+      | Some r ->
+        let labels =
+          match Bus.domain_of_instance bus ~instance:(fst dst) with
+          | Some d -> [ ("kind", kind); ("domain", string_of_int d) ]
+          | None -> [ ("kind", kind) ]
+        in
+        Dr_obs.Metrics.incr r ~labels "faults.injected"
+    in
     let decide ~src ~dst =
       match List.find_opt (matches ~src ~dst) p.fp_rules with
       | None -> Bus.Deliver
@@ -56,9 +71,14 @@ let install bus ~seed p =
         (* one draw per decision, in a fixed order, so the stream of PRNG
            consumptions — and hence the whole run — replays from the seed *)
         let u = Prng.float prng 1.0 in
-        if u < r.r_loss then Bus.Drop
-        else if r.r_dup > 0.0 && Prng.float prng 1.0 < r.r_dup then
+        if u < r.r_loss then begin
+          count_injection "loss" ~dst;
+          Bus.Drop
+        end
+        else if r.r_dup > 0.0 && Prng.float prng 1.0 < r.r_dup then begin
+          count_injection "dup" ~dst;
           Bus.Duplicate
+        end
         else Bus.Deliver
     in
     let jitter () =

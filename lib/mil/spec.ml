@@ -90,3 +90,25 @@ let find_iface spec name =
 
 let find_instance app name =
   List.find_opt (fun i -> String.equal i.inst_name name) app.instances
+
+(* Indexed lookups for large applications: the [find_*] scans above are
+   fine for hand-written configs but turn binding resolution into
+   O(instances x binds) when a 100k-instance deploy resolves every
+   endpoint. Each index is built once per deploy/validation pass;
+   first occurrence wins, matching [List.find_opt] on specs that carry
+   duplicate names (the validator reports those separately). *)
+let index_instances app =
+  let tbl = Hashtbl.create (max 16 (List.length app.instances)) in
+  List.iter
+    (fun i ->
+      if not (Hashtbl.mem tbl i.inst_name) then Hashtbl.add tbl i.inst_name i)
+    app.instances;
+  tbl
+
+let index_modules config =
+  let tbl = Hashtbl.create (max 16 (List.length config.modules)) in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem tbl m.ms_name) then Hashtbl.add tbl m.ms_name m)
+    config.modules;
+  tbl

@@ -41,23 +41,28 @@ let validate_module m =
 let validate_app config app =
   let errors = ref [] in
   let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* indexed lookups: binding resolution must stay linear in the number
+     of binds, not O(instances x binds) — at 100k instances the scans
+     would dominate the whole deploy *)
+  let inst_index = index_instances app in
+  let mod_index = index_modules config in
   List.iter
     (fun n -> err "application %s: duplicate instance %s" app.app_name n)
     (duplicates (List.map (fun i -> i.inst_name) app.instances));
   List.iter
     (fun inst ->
-      if find_module config inst.inst_module = None then
+      if Hashtbl.find_opt mod_index inst.inst_module = None then
         err "application %s: instance %s references unknown module %s"
           app.app_name inst.inst_name inst.inst_module)
     app.instances;
   let resolve (inst_name, if_name) =
-    match find_instance app inst_name with
+    match Hashtbl.find_opt inst_index inst_name with
     | None ->
       err "application %s: binding references unknown instance %s" app.app_name
         inst_name;
       None
     | Some inst -> (
-      match find_module config inst.inst_module with
+      match Hashtbl.find_opt mod_index inst.inst_module with
       | None -> None
       | Some m -> (
         match find_iface m if_name with

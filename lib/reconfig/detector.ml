@@ -14,16 +14,36 @@
    Suspicion: each check tick, an instance silent for longer than
    [timeout] gains one suspicion level; [threshold] consecutive silent
    ticks make it suspected (one lost heartbeat is not an outage). Any
-   evidence resets the level, and clears an existing suspicion. *)
+   evidence resets the level, and clears an existing suspicion.
+
+   Bookkeeping is incremental so a 100k-instance fleet doesn't pay an
+   O(live) suspicion scan per tick:
+
+   - heartbeat emission is inherently one beat per watched instance per
+     period, but runs off a cached name-sorted roster array rebuilt
+     only on membership change — no per-tick fold + sort allocation,
+     and beat order (hence fault-plane PRNG draw order) matches the old
+     sorted-scan implementation exactly;
+   - suspicion checks run off per-domain due wheels (priority queues
+     keyed by the time an instance's silence would exceed [timeout]).
+     Evidence is O(1) — field writes only, no wheel surgery; a wheel
+     entry made stale by fresh evidence is lazily re-armed at the next
+     pop. Each tick therefore only touches instances whose silence
+     horizon actually passed, and a suspected instance costs nothing
+     until evidence clears it. *)
 
 module Bus = Dr_bus.Bus
 module Machine = Dr_interp.Machine
 module Engine = Dr_sim.Engine
+module Pqueue = Dr_sim.Pqueue
 
 type watch_state = {
   mutable w_last_seen : float;
   mutable w_level : int;
   mutable w_suspected : bool;
+  w_stamp : int;  (* identity of this watch incarnation *)
+  mutable w_armed : bool;  (* has a live entry in a due wheel *)
+  w_domain : int;  (* broker domain: which wheel holds its entries *)
 }
 
 type t = {
@@ -33,6 +53,15 @@ type t = {
   threshold : int;
   watched : (string, watch_state) Hashtbl.t;
   mutable running : bool;
+  (* incremental check plane *)
+  wheels : (string * int) Pqueue.t array;  (* (instance, stamp) by due *)
+  mutable wheel_seq : int;
+  mutable stamp_counter : int;
+  mutable roster : (string * watch_state) array;  (* name-sorted cache *)
+  mutable roster_dirty : bool;
+  (* overhead accounting, for the flatness regression test *)
+  mutable total_beats : int;
+  mutable total_checks : int;
 }
 
 let record t fmt =
@@ -42,6 +71,16 @@ let record t fmt =
         ~category:"suspect" ~detail)
     fmt
 
+(* Exactly one armed wheel entry per watched, unsuspected instance:
+   armed at [watch], re-armed at pop, disarmed while suspected. *)
+let arm t instance w ~due =
+  if not w.w_armed then begin
+    w.w_armed <- true;
+    t.wheel_seq <- t.wheel_seq + 1;
+    Pqueue.push t.wheels.(w.w_domain) ~time:due ~seq:t.wheel_seq
+      (instance, w.w_stamp)
+  end
+
 let evidence t instance =
   match Hashtbl.find_opt t.watched instance with
   | None -> ()
@@ -50,7 +89,8 @@ let evidence t instance =
     w.w_level <- 0;
     if w.w_suspected then begin
       w.w_suspected <- false;
-      record t "%s cleared: fresh liveness evidence" instance
+      record t "%s cleared: fresh liveness evidence" instance;
+      arm t instance w ~due:(w.w_last_seen +. t.timeout)
     end
 
 (* Heartbeats converge on a pseudo-endpoint; only the callback matters,
@@ -69,49 +109,117 @@ let emit_heartbeat t instance =
       | Some host -> Bus.host_is_down t.bus host
       | None -> true
     in
-    if not host_down then
+    if not host_down then begin
+      t.total_beats <- t.total_beats + 1;
       Bus.transmit t.bus ~src:(instance, "hb") ~dst:monitor_endpoint (fun () ->
           evidence t instance)
+    end
 
 let check t instance w =
   if not w.w_suspected then begin
-    let silence = Bus.now t.bus -. w.w_last_seen in
+    t.total_checks <- t.total_checks + 1;
+    let now = Bus.now t.bus in
+    let silence = now -. w.w_last_seen in
     if silence > t.timeout then begin
       w.w_level <- w.w_level + 1;
       if w.w_level >= t.threshold then begin
         w.w_suspected <- true;
         record t "%s suspected: silent for %.1f (level %d)" instance silence
           w.w_level
+        (* stays disarmed until evidence clears the suspicion *)
       end
+      else
+        (* still accumulating: due again at the very next tick *)
+        arm t instance w ~due:now
     end
+    else
+      (* evidence arrived since this entry was cut: lazily re-arm at the
+         current silence horizon *)
+      arm t instance w ~due:(w.w_last_seen +. t.timeout)
   end
+
+let refresh_roster t =
+  if t.roster_dirty then begin
+    t.roster_dirty <- false;
+    t.roster <-
+      Array.of_list
+        (List.sort
+           (fun (a, _) (b, _) -> String.compare a b)
+           (Hashtbl.fold (fun k w acc -> (k, w) :: acc) t.watched []))
+  end
+
+(* Pop every entry whose due horizon has passed, across all wheels.
+   Strictly before [now]: an entry due exactly now has silence = timeout,
+   which does not exceed it — it stays for the next tick. *)
+let take_due t ~now =
+  let due = ref [] in
+  Array.iter
+    (fun wheel ->
+      let rec drain () =
+        match Pqueue.peek_time wheel with
+        | Some time when time < now -> (
+          match Pqueue.pop wheel with
+          | Some (_, _, (instance, stamp)) -> (
+            (match Hashtbl.find_opt t.watched instance with
+            | Some w when w.w_stamp = stamp ->
+              w.w_armed <- false;
+              due := (instance, w) :: !due
+            | Some _ | None -> ()  (* stale incarnation: drop *));
+            drain ())
+          | None -> ())
+        | Some _ | None -> ()
+      in
+      drain ())
+    t.wheels;
+  (* name order, matching the old full-scan implementation's check (and
+     suspicion-trace) order; only the due set is sorted, not the fleet *)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !due
 
 let rec tick t () =
   if t.running then begin
-    let entries =
-      List.sort compare
-        (Hashtbl.fold (fun k w acc -> (k, w) :: acc) t.watched [])
-    in
-    List.iter
-      (fun (instance, w) ->
-        emit_heartbeat t instance;
-        check t instance w)
-      entries;
+    refresh_roster t;
+    Array.iter (fun (instance, _) -> emit_heartbeat t instance) t.roster;
+    let now = Bus.now t.bus in
+    List.iter (fun (instance, w) -> check t instance w) (take_due t ~now);
     Engine.schedule (Bus.engine t.bus) ~delay:t.period (tick t)
   end
 
-let fresh_state t =
-  { w_last_seen = Bus.now t.bus; w_level = 0; w_suspected = false }
+let fresh_state t ~instance =
+  t.stamp_counter <- t.stamp_counter + 1;
+  let domain =
+    match Bus.domain_of_instance t.bus ~instance with
+    | Some d when d >= 0 && d < Array.length t.wheels -> d
+    | Some _ | None -> 0
+  in
+  { w_last_seen = Bus.now t.bus;
+    w_level = 0;
+    w_suspected = false;
+    w_stamp = t.stamp_counter;
+    w_armed = false;
+    w_domain = domain }
 
 let watch t ~instance =
-  if not (Hashtbl.mem t.watched instance) then
-    Hashtbl.replace t.watched instance (fresh_state t)
+  if not (Hashtbl.mem t.watched instance) then begin
+    let w = fresh_state t ~instance in
+    Hashtbl.replace t.watched instance w;
+    t.roster_dirty <- true;
+    arm t instance w ~due:(w.w_last_seen +. t.timeout)
+  end
 
-let unwatch t ~instance = Hashtbl.remove t.watched instance
+let unwatch t ~instance =
+  if Hashtbl.mem t.watched instance then begin
+    Hashtbl.remove t.watched instance;
+    t.roster_dirty <- true
+    (* any wheel entry is now a stale incarnation and drops on pop *)
+  end
 
 let rewatch t ~old_instance ~new_instance =
   unwatch t ~instance:old_instance;
-  Hashtbl.replace t.watched new_instance (fresh_state t)
+  unwatch t ~instance:new_instance;
+  let w = fresh_state t ~instance:new_instance in
+  Hashtbl.replace t.watched new_instance w;
+  t.roster_dirty <- true;
+  arm t new_instance w ~due:(w.w_last_seen +. t.timeout)
 
 let start bus ?(period = 1.0) ?(timeout = 3.0) ?(threshold = 2) ~watch:names ()
     =
@@ -121,7 +229,15 @@ let start bus ?(period = 1.0) ?(timeout = 3.0) ?(threshold = 2) ~watch:names ()
       timeout;
       threshold;
       watched = Hashtbl.create 8;
-      running = true }
+      running = true;
+      wheels =
+        Array.init (max 1 (Bus.shard_count bus)) (fun _ -> Pqueue.create ());
+      wheel_seq = 0;
+      stamp_counter = 0;
+      roster = [||];
+      roster_dirty = true;
+      total_beats = 0;
+      total_checks = 0 }
   in
   List.iter (fun instance -> watch t ~instance) names;
   Bus.on_activity bus (Some (fun instance -> evidence t instance));
@@ -150,3 +266,6 @@ let last_evidence t ~instance =
 let watched t =
   List.sort String.compare
     (Hashtbl.fold (fun k _ acc -> k :: acc) t.watched [])
+
+let beats_emitted t = t.total_beats
+let checks_performed t = t.total_checks

@@ -54,3 +54,19 @@ val rewatch : t -> old_instance:string -> new_instance:string -> unit
 
 val watched : t -> string list
 (** Watched instance names, sorted. *)
+
+(** {1 Overhead accounting}
+
+    Suspicion bookkeeping is incremental: checks run off per-domain due
+    wheels, so a tick touches only the instances whose silence horizon
+    passed, not the whole fleet. These counters expose the cost for the
+    flatness regression tests. *)
+
+val beats_emitted : t -> int
+(** Heartbeats sent so far (one per live, reachable watched instance
+    per tick — inherent to the protocol). *)
+
+val checks_performed : t -> int
+(** Silence evaluations so far. Stays well below
+    [watched x ticks] for an active fleet, and a suspected instance
+    costs nothing until evidence clears it. *)

@@ -1,0 +1,389 @@
+(* Broker-domain sharding: shard count is a performance knob, never a
+   semantic one. These tests pin that down from four angles:
+   - a differential replay of the evolving-ring scenario at shard
+     counts 1/2/4 (same passes, same tap history),
+   - per-route FIFO under batched fan-in delivery,
+   - a 1k kill/re-spawn regression: arena slot reuse must never let a
+     stale handle or out-route memo misroute a delivery,
+   - detector overhead flatness: suspicion bookkeeping is incremental,
+     so checks stay constant per instance and stop once suspected.
+   Plus a guard that the full scaling artifact carries every row. *)
+
+module Bus = Dr_bus.Bus
+module Ring = Dr_workloads.Ring
+module Detector = Dr_reconfig.Detector
+module Machine = Dr_interp.Machine
+
+(* ------------------------------------ differential ring replay *)
+
+(* The golden-trace scenario, reduced to its observable results: how
+   often each member passed the token and what the tap saw, in order. *)
+let ring_result ~shards =
+  let system = Ring.load () in
+  let bus = Ring.start ~shards system in
+  Bus.run ~until:30.0 bus;
+  (match
+     Ring.insert_member bus ~instance:"d" ~host:"hostC" ~after:"c" ~before:"a"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "insert_member: %s" e);
+  Bus.run ~until:60.0 bus;
+  let passes =
+    List.map (fun m -> (m, Ring.passes bus ~instance:m)) [ "a"; "b"; "c"; "d" ]
+  in
+  (passes, Ring.tap_history bus)
+
+let test_ring_differential () =
+  let base_passes, base_tap = ring_result ~shards:1 in
+  Alcotest.(check bool) "ring makes progress" true (base_tap <> []);
+  List.iter
+    (fun shards ->
+      let passes, tap = ring_result ~shards in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "passes at shards=%d" shards)
+        base_passes passes;
+      Alcotest.(check (list int))
+        (Printf.sprintf "tap history at shards=%d" shards)
+        base_tap tap)
+    [ 2; 4 ]
+
+(* ------------------------------------ per-route FIFO under batching *)
+
+(* Two producers on one host write interleaved token streams into a
+   single consumer: at shards > 1 their same-instant sends land in the
+   same inter-domain batch, and the drain must still deliver each
+   route's tokens in send order. *)
+let fan_mil =
+  {|
+module prod {
+  source = "./prod.exe";
+  use interface in pattern {integer};
+  define interface out pattern {integer};
+}
+
+module cons {
+  source = "./cons.exe";
+  use interface in pattern {integer};
+}
+
+application fan {
+  instance pa = prod on "hostA";
+  instance pb = prod on "hostA";
+  instance k = cons on "hostA";
+  bind "pa out" "k in";
+  bind "pb out" "k in";
+}
+|}
+
+let prod_source =
+  {|
+module prod;
+
+var i: int = 0;
+var base: int = 0;
+
+proc main() {
+  mh_init();
+  mh_read("in", base);
+  while (i < 8) {
+    i = i + 1;
+    mh_write("out", base + i);
+  }
+}
+|}
+
+let cons_source =
+  {|
+module cons;
+
+var seen: int = 0;
+
+proc main() {
+  var v: int;
+  mh_init();
+  while (true) {
+    mh_read("in", v);
+    seen = seen + 1;
+    print(v);
+  }
+}
+|}
+
+let fan_history ~shards =
+  let system =
+    match
+      Dynrecon.System.load ~mil:fan_mil
+        ~sources:[ ("prod", prod_source); ("cons", cons_source) ]
+        ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "fan load: %s" e
+  in
+  let bus =
+    match
+      Dynrecon.System.start system ~app:"fan" ~hosts:Ring.hosts ~shards
+        ~default_host:"hostA" ()
+    with
+    | Ok bus -> bus
+    | Error e -> Alcotest.failf "fan start: %s" e
+  in
+  Bus.inject bus ~dst:("pa", "in") (Dr_state.Value.Vint 100);
+  Bus.inject bus ~dst:("pb", "in") (Dr_state.Value.Vint 200);
+  Bus.run bus;
+  List.filter_map int_of_string_opt (Bus.outputs bus ~instance:"k")
+
+let test_fan_in_fifo () =
+  let expect_route base history =
+    List.filter (fun v -> v > base && v <= base + 100) history
+  in
+  let base_history = fan_history ~shards:1 in
+  List.iter
+    (fun shards ->
+      let history = fan_history ~shards in
+      Alcotest.(check int)
+        (Printf.sprintf "token count at shards=%d" shards)
+        16 (List.length history);
+      (* order within each producer->consumer route is send order *)
+      List.iter
+        (fun base ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "route order (base %d) at shards=%d" base shards)
+            (List.init 8 (fun i -> base + i + 1))
+            (expect_route base history))
+        [ 100; 200 ];
+      (* contents are shard-invariant even where global interleaving
+         isn't pinned *)
+      Alcotest.(check (list int))
+        (Printf.sprintf "delivery contents at shards=%d" shards)
+        (List.sort compare base_history)
+        (List.sort compare history))
+    [ 2; 4 ]
+
+(* ------------------------------------ 1k kill/re-spawn regression *)
+
+(* n relay->store pairs across two hosts. Stores are killed and
+   re-spawned under the same names in reverse order, so the arena free
+   list hands every re-spawn a slot that used to belong to a different
+   instance — exactly the aliasing trap for stale handles in out-route
+   memos and parked batch entries. *)
+let pairs_n = 1000
+
+let pairs_mil ~n =
+  let buf = Buffer.create (512 + (n * 96)) in
+  Buffer.add_string buf
+    {|module relay {
+  source = "./relay.exe";
+  use interface in pattern {integer};
+  define interface out pattern {integer};
+}
+
+module store {
+  source = "./store.exe";
+  use interface in pattern {integer};
+}
+
+application pairs {
+|};
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  instance s%d = relay on \"hostA\";\n" i);
+    Buffer.add_string buf
+      (Printf.sprintf "  instance r%d = store on \"hostB\";\n" i)
+  done;
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "  bind \"s%d out\" \"r%d in\";\n" i i)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let relay_source =
+  {|
+module relay;
+
+proc main() {
+  var v: int;
+  mh_init();
+  while (true) {
+    mh_read("in", v);
+    v = v + 1;
+    mh_write("out", v);
+  }
+}
+|}
+
+let store_source =
+  {|
+module store;
+
+var seen: int = 0;
+
+proc main() {
+  var v: int;
+  mh_init();
+  while (true) {
+    mh_read("in", v);
+    seen = v;
+  }
+}
+|}
+
+let store_seen bus i =
+  match Bus.machine bus ~instance:(Printf.sprintf "r%d" i) with
+  | Some m -> (
+    match Machine.read_global m "seen" with
+    | Some (Dr_state.Value.Vint v) -> v
+    | _ -> min_int)
+  | None -> min_int
+
+let assert_stores bus ~phase ~expect =
+  for i = 0 to pairs_n - 1 do
+    let got = store_seen bus i in
+    if got <> expect i then
+      Alcotest.failf "%s: store r%d saw %d, expected %d (misrouted delivery)"
+        phase i got (expect i);
+    let pending = Bus.pending_messages bus (Printf.sprintf "r%d" i, "in") in
+    if pending <> 0 then
+      Alcotest.failf "%s: store r%d still has %d queued messages" phase i
+        pending
+  done
+
+let kill_and_respawn_reversed bus =
+  for i = 0 to pairs_n - 1 do
+    Bus.kill bus ~instance:(Printf.sprintf "r%d" i)
+  done;
+  for i = pairs_n - 1 downto 0 do
+    match
+      Bus.spawn bus
+        ~instance:(Printf.sprintf "r%d" i)
+        ~module_name:"store" ~host:"hostB" ()
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "respawn r%d: %s" i e
+  done
+
+let test_kill_respawn_no_misroute () =
+  let system =
+    match
+      Dynrecon.System.load ~mil:(pairs_mil ~n:pairs_n)
+        ~sources:[ ("relay", relay_source); ("store", store_source) ]
+        ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "pairs load: %s" e
+  in
+  let bus =
+    match
+      Dynrecon.System.start system ~app:"pairs" ~hosts:Ring.hosts ~shards:4
+        ~default_host:"hostA" ()
+    with
+    | Ok bus -> bus
+    | Error e -> Alcotest.failf "pairs start: %s" e
+  in
+  (* phase 1: warm every relay's out-route memo *)
+  for i = 0 to pairs_n - 1 do
+    Bus.inject bus
+      ~dst:(Printf.sprintf "s%d" i, "in")
+      (Dr_state.Value.Vint (10 * i))
+  done;
+  Bus.run bus;
+  assert_stores bus ~phase:"warmup" ~expect:(fun i -> (10 * i) + 1);
+  (* phase 2: stale memos — every slot now holds a different instance *)
+  kill_and_respawn_reversed bus;
+  for i = 0 to pairs_n - 1 do
+    Bus.inject bus
+      ~dst:(Printf.sprintf "s%d" i, "in")
+      (Dr_state.Value.Vint (20 * i))
+  done;
+  Bus.run bus;
+  assert_stores bus ~phase:"after re-spawn" ~expect:(fun i -> (20 * i) + 1);
+  (* phase 3: kill/re-spawn while deliveries are parked in inter-domain
+     batches, so the stale handles inside pending entries must
+     generation-fail and fall back to by-name resolution *)
+  for i = 0 to pairs_n - 1 do
+    Bus.inject bus
+      ~dst:(Printf.sprintf "s%d" i, "in")
+      (Dr_state.Value.Vint (30 * i))
+  done;
+  Dr_sim.Engine.schedule (Bus.engine bus) ~delay:0.5 (fun () ->
+      kill_and_respawn_reversed bus);
+  Bus.run bus;
+  assert_stores bus ~phase:"in-flight re-spawn" ~expect:(fun i -> (30 * i) + 1)
+
+(* ------------------------------------ detector overhead flatness *)
+
+(* Watch n instances that never produce evidence: each costs exactly
+   [threshold] silence checks (one per escalation level) and then,
+   suspected, costs nothing at all — however long the run and however
+   big the fleet. *)
+let detector_checks ~n ~until =
+  let bus = Bus.create ~shards:4 ~hosts:Ring.hosts () in
+  let names = List.init n (Printf.sprintf "ghost%d") in
+  let det =
+    Detector.start bus ~period:1.0 ~timeout:3.0 ~threshold:2 ~watch:names ()
+  in
+  Bus.run ~until bus;
+  let checks = Detector.checks_performed det in
+  let beats = Detector.beats_emitted det in
+  Detector.stop det;
+  (checks, beats)
+
+let test_detector_flat () =
+  let threshold = 2 in
+  (* constant per instance, independent of fleet size *)
+  List.iter
+    (fun n ->
+      let checks, beats = detector_checks ~n ~until:20.0 in
+      Alcotest.(check int)
+        (Printf.sprintf "checks for %d silent instances" n)
+        (threshold * n) checks;
+      Alcotest.(check int)
+        (Printf.sprintf "beats for %d unspawned instances" n)
+        0 beats)
+    [ 40; 400 ];
+  (* flat over time: once suspected, a run 4x longer costs no more *)
+  let short, _ = detector_checks ~n:100 ~until:12.0 in
+  let long, _ = detector_checks ~n:100 ~until:48.0 in
+  Alcotest.(check int) "no further checks after suspicion" short long
+
+(* ------------------------------------ scaling artifact row set *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  go 0
+
+(* The full artifact lives at the repo root (a dune dep of this test).
+   A quick CI sweep writes BENCH_scaling_quick.json instead, so the
+   full row set — N = 10 .. 100k, single and multi domain — must
+   always be present here. *)
+let test_scaling_artifact_rows () =
+  let data =
+    In_channel.with_open_bin "../BENCH_scaling.json" In_channel.input_all
+  in
+  Alcotest.(check bool)
+    "artifact is the scaling suite" true
+    (contains ~sub:"\"suite\": \"scaling\"" data);
+  List.iter
+    (fun (n, shards) ->
+      let key = Printf.sprintf "\"n\": %d, \"shards\": %d" n shards in
+      if not (contains ~sub:key data) then
+        Alcotest.failf "BENCH_scaling.json is missing the row {%s}" key)
+    [ (10, 1); (10, 4); (100, 1); (100, 4); (1000, 1); (1000, 4);
+      (10_000, 1); (10_000, 8); (100_000, 1); (100_000, 8) ]
+
+let () =
+  Alcotest.run "domains"
+    [ ( "shard-count invariance",
+        [ Alcotest.test_case "ring differential at shards 1/2/4" `Quick
+            test_ring_differential;
+          Alcotest.test_case "fan-in FIFO under batching" `Quick
+            test_fan_in_fifo ] );
+      ( "arena reuse",
+        [ Alcotest.test_case "1k kill/re-spawn, zero misroutes" `Quick
+            test_kill_respawn_no_misroute ] );
+      ( "detector overhead",
+        [ Alcotest.test_case "checks flat per instance and over time" `Quick
+            test_detector_flat ] );
+      ( "artifacts",
+        [ Alcotest.test_case "full scaling artifact keeps every row" `Quick
+            test_scaling_artifact_rows ] ) ]
