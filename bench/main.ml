@@ -36,10 +36,17 @@
              dune exec bench/main.exe -- chaos    (fault-injection suite)
              dune exec bench/main.exe -- interp   (engine comparison)
              dune exec bench/main.exe -- disruption (window decomposition)
+             dune exec bench/main.exe -- wal       (durable-log crash sweep)
 
-   "scaling", "chaos", "interp" and "disruption" accept --quick (fewer
-   trials/seeds, CI smoke); all four emit machine-readable BENCH_*.json
-   artifacts next to bench_output.txt. *)
+   Part 7 (WAL) crashes the controller at every control-log append
+   index of a transactional replace (x scenarios x loss rates), replays
+   the log, and gates on 100% post-recovery consistency; it also
+   measures append throughput per backend/sync batching and recovery
+   time vs journal depth; emits BENCH_wal.json.
+
+   "scaling", "chaos", "interp", "disruption" and "wal" accept --quick
+   (fewer trials/seeds, CI smoke); all five emit machine-readable
+   BENCH_*.json artifacts next to bench_output.txt. *)
 
 open Bechamel
 open Toolkit
@@ -293,4 +300,5 @@ let () =
   if what = "scaling" then Scaling.all ~quick ();
   if what = "chaos" then Chaos.all ~quick ();
   if what = "interp" then Interp_bench.all ~quick ();
-  if what = "disruption" then Disruption.all ~quick ()
+  if what = "disruption" then Disruption.all ~quick ();
+  if what = "wal" then Wal_bench.all ~quick ()

@@ -5,6 +5,8 @@
      drc callgraph module.mp                     static call graph
      drc check --mil app.mil --src m=path ...    validate a configuration
      drc run --mil app.mil --src m=path --app a  deploy and simulate
+     drc run ... --wal DIR                       ... with a durable control log
+     drc recover DIR                             audit a control log
      drc exec module.mp                          run one module standalone *)
 
 open Cmdliner
@@ -254,7 +256,8 @@ let faults_arg =
            loss=P, dup=P (optionally scoped loss@SRC>DST=P with * wildcards), \
            jitter=J, crash=HOST@T, recover=HOST@T, kill=INSTANCE@T, \
            corrupt=INSTANCE@T (corrupt the next state image captured from \
-           INSTANCE after time T).")
+           INSTANCE after time T), ctlcrash@N (crash the controller after \
+           its Nth control-log append; requires --wal).")
 
 let reliable_arg =
   Arg.(
@@ -290,6 +293,34 @@ let metrics_arg =
            to stdout. Observation is passive: the simulated event sequence \
            is identical with or without this flag.")
 
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Attach a durable control log in DIR (created if missing). Every \
+           journalled reconfiguration primitive is appended — durably, \
+           before it applies — so a controller crash (ctlcrash@N) leaves a \
+           log that $(b,drc recover) can audit and replay.")
+
+let attach_wal bus dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let storage = Dr_wal.Storage.file ~dir in
+  match Dr_wal.Wal.create storage with
+  | Error e -> or_die (Error (Printf.sprintf "--wal %s: %s" dir e))
+  | Ok wal ->
+    let r = Dr_wal.Wal.open_report wal in
+    if r.or_records > 0 || r.or_truncated_bytes > 0 then
+      Printf.printf
+        "control log: %d segment(s), %d live record(s), last lsn %d%s\n"
+        r.or_segments r.or_records r.or_last_lsn
+        (if r.or_truncated_bytes > 0 then
+           Printf.sprintf " (torn tail: %d byte(s) truncated)"
+             r.or_truncated_bytes
+         else "");
+    Dr_bus.Bus.set_wal bus wal
+
 let parse_hosts specs =
   List.map
     (fun spec ->
@@ -303,7 +334,7 @@ let parse_hosts specs =
 
 let run_cmd =
   let run mil srcs app until hosts shards migrate faults reliable trace
-      timeline metrics =
+      timeline metrics wal =
     let system = match load_system mil srcs with Ok s -> s | Error e -> or_die (Error e) in
     let hosts = parse_hosts hosts in
     let bus =
@@ -311,6 +342,7 @@ let run_cmd =
       | Ok bus -> bus
       | Error e -> or_die (Error e)
     in
+    Option.iter (attach_wal bus) wal;
     let registry =
       match metrics with
       | None -> Dr_bus.Bus.metrics bus (* DRC_METRICS may have attached one *)
@@ -344,8 +376,20 @@ let run_cmd =
         Dr_bus.Bus.run ~until:t bus;
         (match Dynrecon.System.migrate bus ~instance:inst ~new_instance:fresh ~new_host:host with
         | Ok _ -> Printf.printf "migrated %s -> %s on %s\n" inst fresh host
+        | Error e when Dr_bus.Bus.controller_down bus ->
+          Printf.printf "migration abandoned: %s\n" e
         | Error e -> or_die (Error e));
         Dr_bus.Bus.run ~until bus));
+    if Dr_bus.Bus.controller_down bus then begin
+      Printf.printf
+        "controller crashed after control-log append %d; replaying the log\n"
+        (Dr_bus.Bus.ctl_appends bus);
+      match Dr_reconfig.Recovery.replay bus with
+      | Ok report ->
+        Fmt.pr "recovery: %a@." Dr_reconfig.Recovery.pp_report report;
+        Dr_bus.Bus.run ~until bus
+      | Error e -> or_die (Error ("recovery failed: " ^ e))
+    end;
     List.iter
       (fun inst ->
         Printf.printf "--- %s (%s) ---\n" inst
@@ -370,7 +414,7 @@ let run_cmd =
     Term.(
       const run $ mil_arg $ srcs_arg $ app_arg $ until_arg $ hosts_arg
       $ shards_arg $ migrate_arg $ faults_arg $ reliable_arg $ trace_arg
-      $ timeline_arg $ metrics_arg)
+      $ timeline_arg $ metrics_arg $ wal_arg)
 
 let inspect_cmd =
   let run file =
@@ -404,6 +448,89 @@ let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect" ~doc:"Describe a frozen state image.")
     Term.(const run $ file)
+
+(* -------------------------------------------------------------- recover *)
+
+let recover_cmd =
+  let run dir verbose =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      or_die (Error (Printf.sprintf "%s: not a directory" dir));
+    let storage = Dr_wal.Storage.file ~dir in
+    let wal =
+      match Dr_wal.Wal.create storage with
+      | Ok wal -> wal
+      | Error e -> or_die (Error e)
+    in
+    let r = Dr_wal.Wal.open_report wal in
+    Printf.printf
+      "control log: %d segment(s), %d live record(s), checkpoint lsn %d, \
+       last lsn %d\n"
+      r.or_segments r.or_records
+      (Dr_wal.Wal.checkpoint_lsn wal)
+      r.or_last_lsn;
+    if r.or_truncated_bytes > 0 then
+      Printf.printf "torn tail: %d byte(s) truncated\n" r.or_truncated_bytes;
+    (match Dr_wal.Wal.check_invariants wal with
+    | Ok () -> ()
+    | Error e -> or_die (Error ("invariant violation: " ^ e)));
+    if verbose then
+      List.iter
+        (fun (lsn, kind, body) ->
+          match Dr_reconfig.Persist.decode ~kind body with
+          | Ok record ->
+            Printf.printf "%6d  %s\n" lsn (Dr_reconfig.Persist.describe record)
+          | Error e -> or_die (Error (Printf.sprintf "lsn %d: %s" lsn e)))
+        (Dr_wal.Wal.records wal);
+    match Dr_reconfig.Recovery.scan wal with
+    | Error e -> or_die (Error e)
+    | Ok scripts ->
+      List.iter
+        (fun (s : Dr_reconfig.Recovery.script) ->
+          Printf.printf "script #%d %-24s %d step(s)  %s\n" s.sc_sid
+            s.sc_label
+            (List.length s.sc_entries)
+            (match s.sc_status with
+            | Dr_reconfig.Recovery.Committed -> "committed"
+            | Dr_reconfig.Recovery.Aborted -> "aborted (rollback complete)"
+            | Dr_reconfig.Recovery.Rolling_back { undone; reason } ->
+              Printf.sprintf
+                "MID-ROLLBACK (%d/%d step(s) undone): %s — replay resumes it"
+                undone
+                (List.length s.sc_entries)
+                reason
+            | Dr_reconfig.Recovery.In_flight ->
+              "IN FLIGHT — replay rolls it back"))
+        scripts;
+      let pending =
+        List.filter
+          (fun (s : Dr_reconfig.Recovery.script) ->
+            match s.sc_status with
+            | Dr_reconfig.Recovery.In_flight
+            | Dr_reconfig.Recovery.Rolling_back _ ->
+              true
+            | _ -> false)
+          scripts
+      in
+      if pending = [] then print_endline "log is clean: nothing to recover"
+      else
+        Printf.printf "%d script(s) need recovery (run with --wal to replay)\n"
+          (List.length pending)
+  in
+  let dir =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Control-log directory (as given to --wal).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "records" ] ~doc:"Print every live record.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Audit a control log: verify checksums and invariants, heal a torn \
+          tail, and report per-script status (committed, aborted, in flight, \
+          mid-rollback).")
+    Term.(const run $ dir $ verbose)
 
 (* ----------------------------------------------------------------- exec *)
 
@@ -474,4 +601,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ transform_cmd; graph_cmd; callgraph_cmd; advise_cmd; optimize_cmd;
-            check_cmd; run_cmd; exec_cmd; inspect_cmd ]))
+            check_cmd; run_cmd; exec_cmd; inspect_cmd; recover_cmd ]))

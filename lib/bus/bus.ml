@@ -95,6 +95,8 @@ type quarantined = {
   q_byte_size : int;
 }
 
+exception Controller_crash
+
 type t = {
   engine : Engine.t;
   trace : Trace.t;
@@ -123,6 +125,17 @@ type t = {
   mutable spawn_rr : int;  (* round-robin domain assignment counter *)
   mutable routes_version : int;
   dom_labels : (string * string) list array;  (* prebuilt metric labels *)
+  (* durable control plane (see Journal/Recovery in dr_reconfig): the
+     write-ahead log the journal appends to, plus the controller fault
+     model — a counter of control-log appends and an optional armed
+     crash point. With no WAL attached nothing here is ever consulted,
+     so the classic traces are untouched. *)
+  mutable bus_wal : Dr_wal.Wal.t option;
+  mutable ctl_appends : int;
+  mutable ctl_crash_at : int option;
+  mutable ctl_down : bool;
+  mutable ctl_next_sid : int;
+  mutable ctl_open : int;  (* scripts begun and not yet committed/aborted *)
 }
 
 (* Metrics are strictly passive: these helpers never schedule events,
@@ -209,7 +222,13 @@ let create ?(params = default_params) ?(shards = 1) ~hosts () =
       spawn_rr = 0;
       routes_version = 0;
       dom_labels =
-        Array.init shards (fun i -> [ ("domain", string_of_int i) ]) }
+        Array.init shards (fun i -> [ ("domain", string_of_int i) ]);
+      bus_wal = None;
+      ctl_appends = 0;
+      ctl_crash_at = None;
+      ctl_down = false;
+      ctl_next_sid = 0;
+      ctl_open = 0 }
   in
   if Metrics.enabled_from_env () then set_metrics t (Metrics.create ());
   t
@@ -234,6 +253,52 @@ let record t category fmt =
    [kill] removes its entry, so halted/crashed machines stay findable
    (they are alive-but-stopped, as before). *)
 let find_proc t instance = Hashtbl.find_opt t.live instance
+
+(* ---------------------------------------------- durable control plane *)
+
+let set_wal t w = t.bus_wal <- Some w
+let wal t = t.bus_wal
+let controller_down t = t.ctl_down
+let ctl_appends t = t.ctl_appends
+
+(* Arm a single-shot controller crash: the controller dies immediately
+   after its [after]-th control-log append completes (record durable,
+   bus operation applied) — the sharpest point for recovery, since every
+   logged record's operation has taken effect and undo is exact. The
+   engine guard swallows the unwind so the rest of the fleet keeps
+   running: a dead controller does not stop the application. *)
+let arm_ctl_crash t ~after =
+  t.ctl_crash_at <- Some after;
+  Engine.set_guard t.engine (function Controller_crash -> true | _ -> false);
+  record t "fault" "controller crash armed after control-log append %d" after
+
+let ctl_tick t =
+  t.ctl_appends <- t.ctl_appends + 1;
+  match t.ctl_crash_at with
+  | Some n when t.ctl_appends >= n ->
+    t.ctl_crash_at <- None;
+    t.ctl_down <- true;
+    record t "fault" "controller crashed after control-log append %d"
+      t.ctl_appends;
+    raise Controller_crash
+  | _ -> ()
+
+let recover_controller t =
+  if t.ctl_down then begin
+    t.ctl_down <- false;
+    t.ctl_open <- 0;  (* whatever was open died with the controller *)
+    record t "recover" "controller restarted"
+  end
+
+let ctl_scripts_open t = t.ctl_open
+let ctl_script_opened t = t.ctl_open <- t.ctl_open + 1
+let ctl_script_closed t = t.ctl_open <- max 0 (t.ctl_open - 1)
+
+let next_script_id t =
+  t.ctl_next_sid <- t.ctl_next_sid + 1;
+  t.ctl_next_sid
+
+let note_script_id t sid = t.ctl_next_sid <- max t.ctl_next_sid sid
 
 (* --------------------------------------------------------------- faults *)
 

@@ -131,6 +131,70 @@ val wake : t -> instance:string -> unit
 (** Force a blocked/sleeping machine ready and reschedule it. Safe on a
     removed or stopped instance: records an audit trace entry instead. *)
 
+(** {1 Durable control plane}
+
+    The reconfiguration journal ({!Dr_reconfig.Journal}) appends its
+    records to a write-ahead log attached here, and the fault plane can
+    arm a {e controller crash}: the controller (the reconfiguration
+    manager driving the current script) dies immediately after its
+    [N]-th control-log append completes. The crash point sits after the
+    logged bus operation has been applied, so every record on the log
+    corresponds to an applied operation and recovery's undo is exact.
+    The raise is swallowed by an engine guard — the application fleet
+    keeps running with the controller dead, exactly the stranded state
+    {!Dr_reconfig.Recovery} exists to repair. With no WAL attached,
+    none of this machinery runs. *)
+
+exception Controller_crash
+(** Raised (out of the journal's logging tick) when an armed controller
+    crash fires. Never escapes the engine loop: {!arm_ctl_crash}
+    installs a guard that abandons the in-flight event. *)
+
+val set_wal : t -> Dr_wal.Wal.t -> unit
+(** Attach the control-plane write-ahead log. *)
+
+val wal : t -> Dr_wal.Wal.t option
+
+val arm_ctl_crash : t -> after:int -> unit
+(** Arm a single-shot controller crash after the [after]-th control-log
+    append (1-based, counted over the bus lifetime — see
+    {!ctl_appends}). *)
+
+val ctl_tick : t -> unit
+(** Count one control-log append; fires the armed crash when the count
+    is reached ([ctl_down] becomes true and {!Controller_crash} is
+    raised). Called by the journal, once per logged record, after the
+    corresponding bus operation applied. *)
+
+val ctl_appends : t -> int
+(** Control-log appends so far (the crash-sweep index space). *)
+
+val controller_down : t -> bool
+(** True between an armed crash firing and {!recover_controller} —
+    script continuations (deadlines, retries) check this and go
+    silent, like callbacks into a dead process would. *)
+
+val recover_controller : t -> unit
+(** Bring the controller back (recovery replay runs after this). *)
+
+val next_script_id : t -> int
+(** Fresh monotonic script id for journal [Begin] records. *)
+
+val note_script_id : t -> int -> unit
+(** Advance the script-id counter to at least [sid] (recovery calls
+    this with ids read back from the log so restarted controllers never
+    reuse one). *)
+
+val ctl_scripts_open : t -> int
+(** Scripts begun and not yet committed or fully rolled back. The
+    journal checkpoints the log only at zero — a checkpoint would
+    garbage-collect an open script's records. Reset by
+    {!recover_controller}. *)
+
+val ctl_script_opened : t -> unit
+
+val ctl_script_closed : t -> unit
+
 (** {1 Fault plane}
 
     Installed by {!Faults} from a declarative plan; every injection is

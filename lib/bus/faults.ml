@@ -18,15 +18,18 @@ type plan = {
   fp_events : (float * event) list;
   fp_rules : rule list;
   fp_jitter : float;
+  fp_ctl_crash : int option;
 }
 
-let no_faults = { fp_events = []; fp_rules = []; fp_jitter = 0.0 }
+let no_faults =
+  { fp_events = []; fp_rules = []; fp_jitter = 0.0; fp_ctl_crash = None }
 
 let rule ?src ?dst ?(loss = 0.0) ?(dup = 0.0) () =
   { r_src = src; r_dst = dst; r_loss = loss; r_dup = dup }
 
-let plan ?(events = []) ?(rules = []) ?(jitter = 0.0) () =
-  { fp_events = events; fp_rules = rules; fp_jitter = jitter }
+let plan ?(events = []) ?(rules = []) ?(jitter = 0.0) ?ctl_crash () =
+  { fp_events = events; fp_rules = rules; fp_jitter = jitter;
+    fp_ctl_crash = ctl_crash }
 
 let matches r ~src ~dst =
   let ok filter name =
@@ -46,6 +49,9 @@ let install bus ~seed p =
     (fun (time, event) ->
       Engine.schedule_at (Bus.engine bus) ~time (fun () -> fire bus event))
     p.fp_events;
+  (match p.fp_ctl_crash with
+  | Some n -> Bus.arm_ctl_crash bus ~after:n
+  | None -> ());
   if p.fp_rules = [] && p.fp_jitter = 0.0 then Bus.clear_fault_hooks bus
   else begin
     let prng = Prng.create ~seed in
@@ -241,6 +247,25 @@ let parse_plan spec =
       | "corrupt" ->
         let* i, t = parse_at "corrupt" value in
         add_event "corrupt" i t (Image_corrupt i)
+      | _ when String.length key > 9 && String.sub key 0 9 = "ctlcrash@" -> (
+        (* "ctlcrash@N": controller dies after the Nth control-log
+           append — an index into the journal's append sequence, not a
+           virtual time *)
+        let n = String.sub key 9 (String.length key - 9) in
+        if value <> "" then
+          Error (Printf.sprintf "bad ctlcrash clause %S: expected ctlcrash@N" clause)
+        else
+          match int_of_string_opt n with
+          | None ->
+            Error (Printf.sprintf "bad ctlcrash index %S: expected ctlcrash@N" n)
+          | Some n when n < 1 ->
+            Error
+              (Printf.sprintf
+                 "bad ctlcrash index %d: append indices start at 1" n)
+          | Some n -> (
+            match p.fp_ctl_crash with
+            | Some _ -> Error "duplicate ctlcrash clause"
+            | None -> Ok (seed, { p with fp_ctl_crash = Some n })))
       | _ -> (
         match scoped "loss", scoped "dup" with
         | Some scope, _ ->

@@ -32,6 +32,12 @@ type plan = {
   fp_events : (float * event) list;  (** (virtual time, event) *)
   fp_rules : rule list;  (** first matching rule wins *)
   fp_jitter : float;  (** max uniform extra latency per hop *)
+  fp_ctl_crash : int option;
+      (** kill the reconfiguration controller after this many
+          control-log appends ({!Bus.arm_ctl_crash}) — an index into
+          the journal's append sequence, not a virtual time, so the
+          crash lands at an exact point of the script's durable
+          history regardless of scheduling *)
 }
 
 val no_faults : plan
@@ -43,6 +49,7 @@ val plan :
   ?events:(float * event) list ->
   ?rules:rule list ->
   ?jitter:float ->
+  ?ctl_crash:int ->
   unit ->
   plan
 
@@ -54,7 +61,8 @@ val parse_plan : string -> (int * plan, string) result
 (** Parse a command-line fault specification: comma-separated clauses
     [seed=N], [loss=P], [dup=P] (optionally scoped [loss@src>dst=P] with
     [*] wildcards), [jitter=J], [crash=host@T], [recover=host@T],
-    [kill=instance@T], [corrupt=instance@T]. Returns the seed
+    [kill=instance@T], [corrupt=instance@T], [ctlcrash@N] (controller
+    crash after the Nth control-log append, 1-based). Returns the seed
     (default 0) and the plan.
 
     Malformed or contradictory specifications are rejected with a

@@ -11,15 +11,69 @@
     instance to service (re-depositing its own image if it already
     halted after divulging). {!commit} discards the journal silently, so
     the success path of a script produces exactly the trace it produced
-    before journalling existed (pinned by the golden-trace tests). *)
+    before journalling existed (pinned by the golden-trace tests).
+
+    {b Durability}: when the bus carries a write-ahead log
+    ({!Dr_bus.Bus.set_wal}), the journal follows the write-ahead
+    discipline — each primitive's redo+undo record ({!Persist.record})
+    is appended durably {e before} the bus operation applies, scripts
+    open with a [Begin] record and close with [Commit] or
+    [Abort]/[Undo_done]*/[Abort_done], and divulged state images are
+    spilled into the log. After each record lands the journal runs the
+    controller-crash tick ({!Dr_bus.Bus.ctl_tick}), so an armed
+    [ctlcrash@N] fault kills the controller precisely between a durable
+    record and the next primitive; {!Recovery.replay} then finishes the
+    story. With no log attached every [Wal] interaction vanishes and
+    behaviour is byte-identical to the in-memory journal. *)
+
+(** The undo record of one applied primitive ({!Persist.entry},
+    re-exported). *)
+type entry = Persist.entry =
+  | Added_route of Dr_bus.Bus.endpoint * Dr_bus.Bus.endpoint
+  | Deleted_route of Dr_bus.Bus.endpoint * Dr_bus.Bus.endpoint
+  | Moved_queue of {
+      mq_src : Dr_bus.Bus.endpoint;
+      mq_dst : Dr_bus.Bus.endpoint;
+    }
+  | Dropped_queue of Dr_bus.Bus.endpoint * Dr_state.Value.t list
+  | Spawned of string
+  | Killed of {
+      k_instance : string;
+      k_module : string;
+      k_host : string;
+      k_spec : Dr_mil.Spec.module_spec option;
+      k_image : Dr_state.Image.t option;
+      k_queues : (string * Dr_state.Value.t list) list;
+    }
+  | Armed_divulge of string
+  | Divulged of {
+      d_cap : Primitives.module_cap;
+      d_image : Dr_state.Image.t;
+    }
+  | Renamed_transport of { rt_old : string; rt_new : string; rt_fence : bool }
 
 type t
 
 val create : Dr_bus.Bus.t -> label:string -> t
-(** [label] names the transaction in rollback trace entries. *)
+(** [label] names the transaction in rollback trace entries. On a bus
+    with a control log this assigns a fresh script id and appends the
+    [Begin] record. *)
+
+val restore :
+  Dr_bus.Bus.t -> label:string -> sid:int -> entries:entry list -> t
+(** Rebuild a journal from entries read back off the control log
+    (oldest first, application order). Appends nothing — the records
+    are already durable. For {!Recovery}. *)
 
 val entry_count : t -> int
 (** Applied-and-not-yet-committed primitives. *)
+
+val label : t -> string
+(** The script label given to {!create} — rollback traces carry it, so
+    recovery traces are attributable to the script that died. *)
+
+val sid : t -> int
+(** The durable script id (0 on a bus without a control log). *)
 
 (** {1 Journalled primitives}
 
@@ -87,5 +141,18 @@ val commit : t -> unit
 
 val rollback : t -> reason:string -> unit
 (** Undo every recorded primitive, newest first. Records a ["rollback"]
-    header plus one ["rollback"] entry per undone primitive. The journal
-    is empty afterwards; rolling back twice is a no-op. *)
+    header plus one ["rollback"] entry per undone primitive, each
+    prefixed ["label [i/N]: "] with the entry's 1-based application
+    index — so every undo line is attributable to its script and step.
+    The journal is empty afterwards; rolling back twice is a no-op. On
+    a logged bus this also appends [Abort], one [Undo_done] per undone
+    step, and [Abort_done]. *)
+
+val resume_rollback :
+  t -> reason:string -> already_undone:int -> abort_logged:bool -> unit
+(** {!rollback} for {!Recovery}: skip the [already_undone] newest
+    entries (their [Undo_done] records are on the log — the controller
+    died mid-rollback), keep the original [i/N] numbering, and don't
+    re-append [Abort] when [abort_logged]. With [~already_undone:0
+    ~abort_logged:false] this is exactly {!rollback} — replayed
+    rollback traces are byte-identical to live ones. *)

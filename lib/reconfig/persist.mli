@@ -1,0 +1,63 @@
+(** Durable encoding of the reconfiguration journal.
+
+    The control-plane records appended to the write-ahead log
+    ({!Dr_wal.Wal}) by {!Journal}: a script opens with {!record.Begin},
+    logs one {!record.Entry} per journalled primitive ({e before} the
+    bus operation applies), and closes with either {!record.Commit} or
+    an {!record.Abort} followed by one {!record.Undo_done} per undone
+    entry and a final {!record.Abort_done}. {!Recovery} replays this
+    grammar after a controller crash.
+
+    Everything rides the abstract wire layout ({!Dr_state.Codec.Wire}:
+    big-endian, 64-bit, tagged values); state images inside [Killed]
+    and [Divulged] entries are spilled as complete DRIMG2 containers
+    ({!Dr_state.Codec.encode_abstract}), so each carries its own CRC in
+    addition to the log record's framing checksum. Module
+    specifications round-trip through the MIL pretty-printer/parser.
+
+    The journal {e entry} type lives here (not in {!Journal}) so the
+    codec and the journal don't depend on each other; {!Journal}
+    re-exports it. *)
+
+type entry =
+  | Added_route of Dr_bus.Bus.endpoint * Dr_bus.Bus.endpoint
+  | Deleted_route of Dr_bus.Bus.endpoint * Dr_bus.Bus.endpoint
+  | Moved_queue of { mq_src : Dr_bus.Bus.endpoint; mq_dst : Dr_bus.Bus.endpoint }
+  | Dropped_queue of Dr_bus.Bus.endpoint * Dr_state.Value.t list
+  | Spawned of string
+  | Killed of {
+      k_instance : string;
+      k_module : string;
+      k_host : string;
+      k_spec : Dr_mil.Spec.module_spec option;
+      k_image : Dr_state.Image.t option;
+      k_queues : (string * Dr_state.Value.t list) list;
+    }
+  | Armed_divulge of string
+  | Divulged of { d_cap : Primitives.module_cap; d_image : Dr_state.Image.t }
+  | Renamed_transport of { rt_old : string; rt_new : string; rt_fence : bool }
+
+type record =
+  | Begin of { sid : int; label : string }
+  | Entry of { sid : int; entry : entry }
+  | Commit of { sid : int }
+  | Abort of { sid : int; reason : string }
+  | Undo_done of { sid : int; index : int }
+      (** the entry at 1-based application-order [index] has been
+          undone *)
+  | Abort_done of { sid : int }
+
+val kind_of : record -> int
+(** The WAL record kind byte for this record. *)
+
+val encode : record -> bytes
+
+val decode : kind:int -> bytes -> (record, string) result
+(** Inverse of {!encode} on the WAL's [(kind, body)] pair. Trailing
+    bytes, unknown tags, and embedded image/spec damage all fail with a
+    descriptive error — never a mis-parse. *)
+
+val sid_of : record -> int
+
+val describe : record -> string
+(** One-line human summary (for [drc recover] inspection). *)

@@ -1,0 +1,56 @@
+(** Crash recovery: rebuild the reconfiguration journal from the
+    control log and finish what the dead controller started.
+
+    The crash model is the controller's, not the fleet's: an armed
+    [ctlcrash@N] fault ({!Dr_bus.Bus.arm_ctl_crash}) kills the
+    controller between a durable control record and the next journalled
+    primitive, while the application modules keep running. {!replay}
+    reads the durable records back ({!Dr_wal.Wal.records}), restarts
+    the controller, and — for every script the log leaves unterminated —
+    restores its journal and rolls it back: a script with no terminator
+    is fully undone, a script whose [Abort] landed but whose
+    [Abort_done] did not resumes its rollback exactly where it stopped
+    (the logged [Undo_done] steps are skipped, the [i/N] numbering is
+    preserved). Committed and fully-aborted scripts need nothing. The
+    log is then checkpointed, so the next restart replays only what
+    comes after. *)
+
+(** What the log says happened to one script. *)
+type status =
+  | Committed  (** terminated cleanly; nothing to do *)
+  | Aborted  (** rollback ran to completion before the log ended *)
+  | Rolling_back of { undone : int; reason : string }
+      (** [Abort] logged, [undone] [Undo_done] steps followed, no
+          [Abort_done] — the controller died mid-rollback *)
+  | In_flight  (** no terminator at all — died mid-script *)
+
+type script = {
+  sc_sid : int;
+  sc_label : string;
+  sc_entries : Journal.entry list;  (** application order *)
+  sc_status : status;
+}
+
+val scan : Dr_wal.Wal.t -> (script list, string) result
+(** Decode and validate the durable control records from the checkpoint
+    on, grouped per script in first-[Begin] order. Fails loudly — never
+    guesses — on a record that does not decode, a record for an unknown
+    script id, an entry after a terminator, an [Undo_done] out of
+    sequence, or a duplicate [Begin]. *)
+
+type report = {
+  rp_records : int;  (** control records replayed *)
+  rp_scripts : int;  (** scripts seen on the log *)
+  rp_committed : int;
+  rp_aborted : int;  (** rollbacks already complete on the log *)
+  rp_rolled_back : int;  (** in-flight scripts rolled back by replay *)
+  rp_resumed : int;  (** mid-rollback scripts resumed by replay *)
+}
+
+val replay : Dr_bus.Bus.t -> (report, string) result
+(** Recover the controller of [bus] from its attached control log
+    ({!Dr_bus.Bus.set_wal} must have been called). Idempotent: a log
+    with no unterminated scripts recovers to a no-op. [Error] when no
+    log is attached or {!scan} rejects the log. *)
+
+val pp_report : Format.formatter -> report -> unit

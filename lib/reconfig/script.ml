@@ -128,7 +128,11 @@ let replace bus ?(span_kind = "replace") ~instance ~new_instance ?new_module
           retry.backoff;
         Dr_sim.Engine.schedule (Bus.engine bus)
           ~delay:(Float.max 0.0 retry.backoff)
-          (fun () -> attempt (n + 1) ~host_override:next_host)
+          (fun () ->
+            (* a retry scheduled before the controller died must not run
+               as a ghost of it *)
+            if not (Bus.controller_down bus) then
+              attempt (n + 1) ~host_override:next_host)
       | Error _ -> on_done outcome
     in
     match P.obj_cap bus ~instance with
@@ -241,7 +245,7 @@ let replace bus ?(span_kind = "replace") ~instance ~new_instance ?new_module
            crashed on the way) triggers rollback instead of spinning the
            event budget *)
         Dr_sim.Engine.schedule (Bus.engine bus) ~delay:window (fun () ->
-            if not !settled then begin
+            if (not !settled) && not (Bus.controller_down bus) then begin
               record bus "replace %s: deadline (%.1f) expired before divulge"
                 instance window;
               Journal.rollback j ~reason:"deadline expired";
@@ -467,7 +471,12 @@ let remove_module bus ~instance =
 
 let run_sync bus ?(max_events = 1_000_000) ?deadline ?watch script =
   let result = ref None in
-  script ~on_done:(fun r -> result := Some r);
+  (* the script's synchronous prefix (journal begin, arm, signal) can
+     die on an armed controller crash before any engine event fires;
+     treat it exactly like a crash inside an event — the fleet keeps
+     running, the script just never completes *)
+  (try script ~on_done:(fun r -> result := Some r)
+   with Bus.Controller_crash -> ());
   (* a watched instance that crashes, halts or disappears before the
      script completes can never comply with the reconfiguration signal;
      fail fast instead of spinning the event budget on the other
@@ -488,11 +497,16 @@ let run_sync bus ?(max_events = 1_000_000) ?deadline ?watch script =
     | Some d -> Bus.now bus -. started > d
   in
   Bus.run_while bus ~max_events (fun () ->
-      Option.is_none !result && not (doomed ()) && not (expired ()));
+      Option.is_none !result
+      && (not (doomed ()))
+      && (not (expired ()))
+      && not (Bus.controller_down bus));
   match !result with
   | Some r -> r
   | None -> (
     match watch with
+    | _ when Bus.controller_down bus ->
+      Error "the controller crashed before the reconfiguration completed"
     | Some instance when doomed () ->
       Error
         (match Bus.process_status bus ~instance with

@@ -3,9 +3,17 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
+  mutable guard : exn -> bool;
 }
 
-let create () = { queue = Pqueue.create (); clock = 0.0; next_seq = 0; fired = 0 }
+let create () =
+  { queue = Pqueue.create ();
+    clock = 0.0;
+    next_seq = 0;
+    fired = 0;
+    guard = (fun _ -> false) }
+
+let set_guard t guard = t.guard <- guard
 
 let now t = t.clock
 
@@ -26,7 +34,7 @@ let step t =
   | Some (time, _seq, f) ->
     t.clock <- time;
     t.fired <- t.fired + 1;
-    f ();
+    (try f () with e when t.guard e -> ());
     true
 
 let run ?(until = infinity) ?(max_events = max_int) t =

@@ -31,3 +31,11 @@ val run : ?until:float -> ?max_events:int -> t -> unit
 
 val events_fired : t -> int
 (** Total number of events executed so far. *)
+
+val set_guard : t -> (exn -> bool) -> unit
+(** Install an exception guard. When an event thunk raises [e] and
+    [guard e] is [true], the event is abandoned where it stood and the
+    loop continues with the next event — used to model a component
+    (e.g. the reconfiguration controller) dying mid-event without
+    tearing down the whole simulation. A [false] return re-raises.
+    Default: no exception is caught. *)

@@ -229,6 +229,17 @@ let decode_abstract data = guarded (fun () -> decode_with abstract_layout data)
 let decode_abstract_full data =
   guarded (fun () -> decode_with_full abstract_layout data)
 
+module Wire = struct
+  let write_int buf v = write_int abstract_layout buf v
+  let read_int r = read_int abstract_layout r
+  let write_string buf s = write_string abstract_layout buf s
+  let read_string r = read_string abstract_layout r
+  let write_value buf v = write_value abstract_layout buf v
+  let read_value r = read_value abstract_layout r
+
+  let guarded f = guarded f
+end
+
 module Native = struct
   let encode arch image =
     guarded (fun () -> encode_with (layout_of_arch arch) image)

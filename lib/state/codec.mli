@@ -35,6 +35,24 @@ val decode_abstract_full : bytes -> (Image.t * string option, string) result
 (** Like {!decode_abstract}, also returning the version-3 metadata
     ([None] for versions 1 and 2). *)
 
+(** Abstract-layout wire primitives (big-endian, 64-bit, the same
+    encoding the canonical image body uses), exposed for other durable
+    formats — notably the write-ahead log's journal records — so every
+    on-disk artefact shares one integer/string/value encoding. *)
+module Wire : sig
+  val write_int : Buffer.t -> int -> unit
+  val read_int : Bin_util.reader -> int
+
+  val write_string : Buffer.t -> string -> unit
+  val read_string : Bin_util.reader -> string
+
+  val write_value : Buffer.t -> Value.t -> unit
+  val read_value : Bin_util.reader -> Value.t
+
+  val guarded : (unit -> 'a) -> ('a, string) result
+  (** Run a decoder, mapping {!Malformed} and truncation to [Error]. *)
+end
+
 module Native : sig
   val encode : Arch.t -> Image.t -> (bytes, string) result
   (** Fails when a captured integer exceeds the architecture word. *)
