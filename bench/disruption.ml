@@ -1,9 +1,11 @@
 (* Disruption-window benchmark: sweep AR-stack depth x per-frame payload
-   on the deeprec_payload workload, migrate the instance across
-   architectures (hostA x86_64 -> hostB sparc32), and read the phase
-   decomposition back out of the span tree the reconfiguration script
-   records — signal, drain, capture, translate, restore, all in virtual
-   time. Emits BENCH_disruption.json next to bench_output.txt.
+   on the deeprec_payload workload, migrate the instance off hostA both
+   across architectures (hostB, sparc32) and within one (hostD, x86_64),
+   with live pre-copy off and on, and read the phase decomposition back
+   out of the span tree the reconfiguration script records — signal,
+   drain, capture, translate, restore, all in virtual time. Emits
+   BENCH_disruption.json (full sweep) or BENCH_disruption_quick.json
+   (--quick) next to bench_output.txt.
 
    Run with: dune exec bench/main.exe -- disruption           (full sweep)
              dune exec bench/main.exe -- disruption --quick   (CI smoke)
@@ -11,7 +13,13 @@
    Every cell asserts the decomposition identity: the phase durations
    must tile the root span exactly (total = signal + drain + capture +
    translate + restore), i.e. the observability plane accounts for the
-   whole window with no gap and no overlap. *)
+   whole window with no gap and no overlap. Pre-copy adds only
+   zero-width markers, so the identity holds in every mode.
+
+   Gates (non-zero exit on failure):
+     full  — at depth 128 / payload 64, pre-copy must cut the window by
+             at least 2x against both destinations
+     quick — pre-copy must not widen the window (lenient CI smoke) *)
 
 module Bus = Dr_bus.Bus
 module Script = Dr_reconfig.Script
@@ -19,17 +27,29 @@ module Metrics = Dr_obs.Metrics
 module Synthetic = Dr_workloads.Synthetic
 module I = Dr_transform.Instrument
 
+(* Monitor's hosts plus a second x86_64 host, so the sweep has a
+   same-architecture destination where delta images can apply. *)
+let hosts =
+  Dr_workloads.Monitor.hosts
+  @ [ { Bus.host_name = "hostD"; arch = Dr_state.Arch.x86_64 } ]
+
 type cell = {
   c_depth : int;
   c_payload : int;
-  c_bytes_in : int;   (* abstract image size leaving hostA *)
-  c_bytes_out : int;  (* after translation for hostB *)
+  c_dst : string;      (* destination host *)
+  c_precopy : bool;
+  c_bytes_in : int;    (* abstract image size leaving hostA *)
+  c_bytes_out : int;   (* after translation / delta encoding *)
   c_signal : float;
   c_drain : float;
   c_capture : float;
   c_translate : float;
   c_restore : float;
   c_total : float;
+  c_precopy_wait : float;   (* service time before the freeze signal *)
+  c_delta_fallback : string;  (* "", or none/cross_arch/misaligned/... *)
+  c_delta_slots : int;
+  c_delta_bytes : int;
 }
 
 let dur name span =
@@ -46,14 +66,21 @@ let child root kind =
   | Some s -> s
   | None -> failwith (Printf.sprintf "disruption: no %s child span" kind)
 
-let int_attr span name =
+let child_opt root kind =
+  List.find_opt
+    (fun s -> String.equal (Metrics.span_kind s) kind)
+    (Metrics.span_children root)
+
+let attr span name =
   match List.assoc_opt name (Metrics.span_attrs span) with
-  | Some v -> int_of_string v
+  | Some v -> v
   | None -> failwith (Printf.sprintf "disruption: span lacks %s attr" name)
 
-let run_cell ~depth ~payload =
+let int_attr span name = int_of_string (attr span name)
+
+let run_cell ~depth ~payload ~dst ~precopy =
   let registry = Metrics.create () in
-  let bus = Bus.create ~hosts:Dr_workloads.Monitor.hosts () in
+  let bus = Bus.create ~hosts () in
   Bus.set_metrics bus registry;
   let prepared =
     match
@@ -74,8 +101,8 @@ let run_cell ~depth ~payload =
   Bus.run ~until:5.0 bus;
   (match
      Script.run_sync bus (fun ~on_done ->
-         Script.migrate bus ~instance:"w" ~new_instance:"w2" ~new_host:"hostB"
-           ~on_done ())
+         Script.migrate bus ~precopy ~instance:"w" ~new_instance:"w2"
+           ~new_host:dst ~on_done ())
    with
   | Ok _ -> ()
   | Error e -> failwith ("disruption: migrate: " ^ e));
@@ -94,9 +121,21 @@ let run_cell ~depth ~payload =
            (List.length roots))
   in
   let translate = child root "translate" in
+  let precopy_wait, delta_fallback, delta_slots, delta_bytes =
+    match child_opt root "precopy", child_opt root "delta" with
+    | Some pc, Some dc ->
+      ( float_of_string (attr pc "wait"),
+        attr dc "fallback",
+        int_attr dc "delta_slots",
+        int_attr dc "delta_bytes" )
+    | _ when precopy -> failwith "disruption: precopy run lacks marker spans"
+    | _ -> (0.0, "", 0, 0)
+  in
   let cell =
     { c_depth = depth;
       c_payload = payload;
+      c_dst = dst;
+      c_precopy = precopy;
       c_bytes_in = int_attr translate "bytes_in";
       c_bytes_out = int_attr translate "bytes_out";
       c_signal = dur "signal" (child root "signal");
@@ -104,7 +143,11 @@ let run_cell ~depth ~payload =
       c_capture = dur "capture" (child root "capture");
       c_translate = dur "translate" translate;
       c_restore = dur "restore" (child root "restore");
-      c_total = dur "migrate" root }
+      c_total = dur "migrate" root;
+      c_precopy_wait = precopy_wait;
+      c_delta_fallback = delta_fallback;
+      c_delta_slots = delta_slots;
+      c_delta_bytes = delta_bytes }
   in
   let sum =
     cell.c_signal +. cell.c_drain +. cell.c_capture +. cell.c_translate
@@ -113,14 +156,17 @@ let run_cell ~depth ~payload =
   if Float.abs (sum -. cell.c_total) > 1e-9 then
     failwith
       (Printf.sprintf
-         "disruption: depth %d payload %d: phases sum to %.9f but window is %.9f"
-         depth payload sum cell.c_total);
+         "disruption: depth %d payload %d -> %s (precopy %b): phases sum to \
+          %.9f but window is %.9f"
+         depth payload dst precopy sum cell.c_total);
   cell
 
 let cell_json c =
   Json_out.obj
     [ ("depth", Json_out.int c.c_depth);
       ("payload", Json_out.int c.c_payload);
+      ("dst", Json_out.str c.c_dst);
+      ("precopy", Json_out.bool c.c_precopy);
       ("bytes_in", Json_out.int c.c_bytes_in);
       ("bytes_out", Json_out.int c.c_bytes_out);
       ("signal", Json_out.float c.c_signal);
@@ -128,38 +174,85 @@ let cell_json c =
       ("capture", Json_out.float c.c_capture);
       ("translate", Json_out.float c.c_translate);
       ("restore", Json_out.float c.c_restore);
-      ("total", Json_out.float c.c_total) ]
+      ("total", Json_out.float c.c_total);
+      ("precopy_wait", Json_out.float c.c_precopy_wait);
+      ("delta_fallback", Json_out.str c.c_delta_fallback);
+      ("delta_slots", Json_out.int c.c_delta_slots);
+      ("delta_bytes", Json_out.int c.c_delta_bytes) ]
 
 let all ?(quick = false) () =
   print_newline ();
   print_endline "==============================================================";
   print_endline "Disruption window vs AR-stack depth x payload (virtual time)";
-  print_endline "  migrate hostA (x86_64) -> hostB (sparc32), deeprec_payload";
+  print_endline "  migrate hostA (x86_64) -> hostB (sparc32) / hostD (x86_64)";
+  print_endline "  pre-copy off vs on, deeprec_payload workload";
   print_endline "==============================================================";
   let depths = if quick then [ 4; 16 ] else [ 2; 8; 32; 128 ] in
   let payloads = if quick then [ 0; 8 ] else [ 0; 16; 64 ] in
-  let cells =
+  let dsts = [ "hostB"; "hostD" ] in
+  (* pre-copy off and on for each (depth, payload, destination) row *)
+  let rows =
     List.concat_map
       (fun depth ->
-        List.map (fun payload -> run_cell ~depth ~payload) payloads)
+        List.concat_map
+          (fun payload ->
+            List.map
+              (fun dst ->
+                let off = run_cell ~depth ~payload ~dst ~precopy:false in
+                let on = run_cell ~depth ~payload ~dst ~precopy:true in
+                (off, on))
+              dsts)
+          payloads)
       depths
   in
-  Printf.printf "%6s %8s %9s %8s %8s %8s %8s %8s %8s\n" "depth" "payload"
-    "bytes" "signal" "drain" "capture" "xlate" "restore" "total";
-  Printf.printf "%s\n" (String.make 78 '-');
+  Printf.printf "%6s %8s %6s %9s %10s %9s %8s %7s %11s\n" "depth" "payload"
+    "dst" "off_total" "on_total" "speedup" "pc_wait" "d_slots" "fallback";
+  Printf.printf "%s\n" (String.make 82 '-');
   List.iter
-    (fun c ->
-      Printf.printf "%6d %8d %9d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n"
-        c.c_depth c.c_payload c.c_bytes_in c.c_signal c.c_drain c.c_capture
-        c.c_translate c.c_restore c.c_total)
-    cells;
+    (fun (off, on) ->
+      let speedup =
+        if on.c_total <= 0.0 then "     inf "
+        else Printf.sprintf "%8.2fx" (off.c_total /. on.c_total)
+      in
+      Printf.printf "%6d %8d %6s %9.3f %10.3f %s %8.3f %7d %11s\n" off.c_depth
+        off.c_payload off.c_dst off.c_total on.c_total speedup
+        on.c_precopy_wait on.c_delta_slots on.c_delta_fallback)
+    rows;
   print_endline
-    "(each row checked: phases tile the window — total = signal + drain";
+    "(each cell checked: phases tile the window — total = signal + drain";
   print_endline " + capture + translate + restore, exactly)";
+  let cells = List.concat_map (fun (off, on) -> [ off; on ]) rows in
   let json =
     Json_out.obj
       [ ("suite", Json_out.str "disruption");
         ("quick", Json_out.bool quick);
         ("cells", Json_out.arr (List.map cell_json cells)) ]
   in
-  Json_out.write "BENCH_disruption.json" json
+  Json_out.write
+    (if quick then "BENCH_disruption_quick.json" else "BENCH_disruption.json")
+    json;
+  (* regression gates *)
+  let failed = ref false in
+  List.iter
+    (fun (off, on) ->
+      if quick then begin
+        (* lenient smoke gate: pre-copy must never widen the window *)
+        if on.c_total > off.c_total +. 1e-9 then begin
+          Printf.printf
+            "FAIL: depth %d payload %d -> %s: pre-copy widened the window \
+             (%.3f > %.3f)\n"
+            off.c_depth off.c_payload off.c_dst on.c_total off.c_total;
+          failed := true
+        end
+      end
+      else if off.c_depth = 128 && off.c_payload = 64 then
+        (* headline criterion: >= 2x narrower at the deepest, fattest cell *)
+        if on.c_total *. 2.0 > off.c_total then begin
+          Printf.printf
+            "FAIL: depth %d payload %d -> %s: pre-copy window %.3f is not \
+             2x below %.3f\n"
+            off.c_depth off.c_payload off.c_dst on.c_total off.c_total;
+          failed := true
+        end)
+    rows;
+  if !failed then exit 1

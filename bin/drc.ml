@@ -244,6 +244,17 @@ let migrate_arg =
     & info [ "migrate" ] ~docv:"INST:NEW:HOST@T"
         ~doc:"Migrate INST to HOST as NEW at virtual time T.")
 
+let precopy_arg =
+  Arg.(
+    value & flag
+    & info [ "precopy" ]
+        ~doc:
+          "Live pre-copy for --migrate: snapshot the module's state at its \
+           next reconfiguration point while it keeps serving, then freeze \
+           and ship only the slots dirtied since (falling back to the full \
+           image across architectures). Shrinks the disruption window; the \
+           outcome is unchanged.")
+
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the bus trace.")
 
 let faults_arg =
@@ -333,8 +344,8 @@ let parse_hosts specs =
     specs
 
 let run_cmd =
-  let run mil srcs app until hosts shards migrate faults reliable trace
-      timeline metrics wal =
+  let run mil srcs app until hosts shards migrate precopy faults reliable
+      trace timeline metrics wal =
     let system = match load_system mil srcs with Ok s -> s | Error e -> or_die (Error e) in
     let hosts = parse_hosts hosts in
     let bus =
@@ -374,7 +385,10 @@ let run_cmd =
       | None -> or_die (Error (Printf.sprintf "bad --migrate %S" spec))
       | Some (inst, fresh, host, t) ->
         Dr_bus.Bus.run ~until:t bus;
-        (match Dynrecon.System.migrate bus ~instance:inst ~new_instance:fresh ~new_host:host with
+        (match
+           Dynrecon.System.migrate bus ~precopy ~instance:inst
+             ~new_instance:fresh ~new_host:host
+         with
         | Ok _ -> Printf.printf "migrated %s -> %s on %s\n" inst fresh host
         | Error e when Dr_bus.Bus.controller_down bus ->
           Printf.printf "migration abandoned: %s\n" e
@@ -413,8 +427,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Deploy an application and simulate it.")
     Term.(
       const run $ mil_arg $ srcs_arg $ app_arg $ until_arg $ hosts_arg
-      $ shards_arg $ migrate_arg $ faults_arg $ reliable_arg $ trace_arg
-      $ timeline_arg $ metrics_arg $ wal_arg)
+      $ shards_arg $ migrate_arg $ precopy_arg $ faults_arg $ reliable_arg
+      $ trace_arg $ timeline_arg $ metrics_arg $ wal_arg)
 
 let inspect_cmd =
   let run file =

@@ -58,11 +58,11 @@ let () =
      a 32-bit architecture *)
   print_endline "\nword-size hazard (expected failure):";
   let oversized =
-    { Dr_state.Image.source_module = "store";
-      records =
+    Dr_state.Image.make ~source_module:"store"
+      ~records:
         [ { Dr_state.Image.location = 1;
-            values = [ Dr_state.Value.Vint 0x1_0000_0000_0 ] } ];
-      heap = [] }
+            values = [ Dr_state.Value.Vint 0x1_0000_0000_0 ] } ]
+      ~heap:[]
   in
   match
     Dr_reconfig.Primitives.translate_image bus ~src_host:"hostA" ~dst_host:"hostC"

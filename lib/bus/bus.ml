@@ -86,6 +86,8 @@ type fault_hooks = {
 type transport = {
   tr_send : src:endpoint -> dst:endpoint -> Value.t -> bool;
   tr_rename : old_instance:string -> new_instance:string -> fence:bool -> unit;
+  tr_retx_wait : instance:string -> float;
+      (* accumulated retransmission-timer wait towards an instance *)
 }
 
 type quarantined = {
@@ -316,6 +318,14 @@ let set_transport t transport = t.transport <- Some transport
 let clear_transport t = t.transport <- None
 let has_transport t = Option.is_some t.transport
 
+(* How long the reliable layer's retransmission timers have kept frames
+   towards [instance] waiting. 0 without a transport. The drain phase of
+   a reconfiguration samples this before and after quiescing, separating
+   "waiting for the module to reach a point" from "waiting for the
+   reliable layer to redeliver" in the disruption decomposition. *)
+let transport_retx_wait t ~instance =
+  match t.transport with None -> 0.0 | Some tr -> tr.tr_retx_wait ~instance
+
 let transport_rename t ~old_instance ~new_instance ~fence =
   match t.transport with
   | None -> ()
@@ -438,14 +448,10 @@ and run_quantum t p =
     | _ -> false
   in
   if p.p_alive && not already_stopped then begin
-    let before = Machine.instr_count p.p_machine in
-    let budget = t.bus_params.quantum in
-    let steps = ref 0 in
-    while Machine.status p.p_machine = Machine.Ready && !steps < budget do
-      Machine.step p.p_machine;
-      incr steps
-    done;
-    let executed = Machine.instr_count p.p_machine - before in
+    (* the machine's budgeted loop pays one status check per instruction
+       instead of a [step] call, and dispatches fused pairs when the
+       instance has fusion enabled *)
+    let executed = Machine.exec_budget p.p_machine t.bus_params.quantum in
     (* the guard keeps the label list from being allocated per quantum
        when no registry is attached — this is the hottest call site *)
     if Option.is_some t.bus_metrics then

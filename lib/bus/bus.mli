@@ -245,6 +245,9 @@ type transport = {
       (** re-key per-route delivery state when a reconfiguration renames
           an instance; [fence = true] additionally invalidates frames
           sent under the old name (generation fencing) *)
+  tr_retx_wait : instance:string -> float;
+      (** cumulative virtual time the transport's retransmission timers
+          have spent redelivering frames towards [instance] *)
 }
 
 val set_transport : t -> transport -> unit
@@ -256,6 +259,11 @@ val has_transport : t -> bool
 val transport_rename :
   t -> old_instance:string -> new_instance:string -> fence:bool -> unit
 (** Forward a rename to the installed transport; no-op without one. *)
+
+val transport_retx_wait : t -> instance:string -> float
+(** Cumulative retransmission-timer wait towards [instance] (0 without
+    a transport). Sampled around the drain phase of a reconfiguration
+    to separate reliable-layer backoff from genuine quiescence time. *)
 
 val transmit :
   t -> src:endpoint -> dst:endpoint -> (unit -> unit) -> unit

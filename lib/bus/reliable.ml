@@ -44,6 +44,8 @@ type channel = {
   mutable ch_timer_gen : int;
   mutable ch_sent : int;
   mutable ch_retx : int;
+  mutable ch_retx_wait : float;
+      (* virtual time spent waiting on expired retransmission timers *)
   (* receiver *)
   mutable ch_next_expected : int;
   ch_ooo : (int, Dr_state.Value.t) Hashtbl.t;
@@ -82,6 +84,7 @@ let create_channel t ~src ~dst =
       ch_timer_gen = 0;
       ch_sent = 0;
       ch_retx = 0;
+      ch_retx_wait = 0.0;
       ch_next_expected = 0;
       ch_ooo = Hashtbl.create 8;
       ch_delivered = 0;
@@ -179,6 +182,10 @@ and on_timeout t ch ~gen =
   if gen = ch.ch_timer_gen && ch.ch_timer_armed then begin
     ch.ch_timer_armed <- false;
     if Hashtbl.length ch.ch_unacked > 0 then begin
+      (* the expired timer ran for [ch_rto]: that whole wait is
+         retransmission backoff, attributable to the channel's
+         destination (sampled by the drain phase via the bus) *)
+      ch.ch_retx_wait <- ch.ch_retx_wait +. ch.ch_rto;
       for seq = ch.ch_lowest_unacked to ch.ch_next_seq - 1 do
         match Hashtbl.find_opt ch.ch_unacked seq with
         | None -> ()
@@ -256,6 +263,7 @@ type stats = {
   st_epoch : int;
   st_sent : int;
   st_retx : int;
+  st_retx_wait : float;
   st_delivered : int;
   st_dups : int;
   st_fenced : int;
@@ -270,6 +278,7 @@ let stats t =
         st_epoch = ch.ch_epoch;
         st_sent = ch.ch_sent;
         st_retx = ch.ch_retx;
+        st_retx_wait = ch.ch_retx_wait;
         st_delivered = ch.ch_delivered;
         st_dups = ch.ch_dups;
         st_fenced = ch.ch_fenced;
@@ -279,6 +288,15 @@ let stats t =
   |> List.sort (fun a b -> compare (a.st_src, a.st_dst) (b.st_src, b.st_dst))
 
 let total_retx t = List.fold_left (fun acc s -> acc + s.st_retx) 0 (stats t)
+
+(* Retransmission wait attributable to one destination instance: every
+   expired timer on a channel whose frames head there. *)
+let retx_wait_to t ~instance =
+  Hashtbl.fold
+    (fun _ ch acc ->
+      if String.equal (fst ch.ch_dst) instance then acc +. ch.ch_retx_wait
+      else acc)
+    t.channels 0.0
 
 let total_unacked t =
   List.fold_left (fun acc s -> acc + s.st_unacked) 0 (stats t)
@@ -291,7 +309,8 @@ let attach ?(params = default_params) bus =
     { Bus.tr_send = (fun ~src ~dst value -> send t ~src ~dst value);
       tr_rename =
         (fun ~old_instance ~new_instance ~fence ->
-          rename t ~old_instance ~new_instance ~fence) };
+          rename t ~old_instance ~new_instance ~fence);
+      tr_retx_wait = (fun ~instance -> retx_wait_to t ~instance) };
   (* Export channel statistics as gauges, sampled at snapshot time.
      Requires the registry to be on the bus before [attach]. *)
   (match Bus.metrics bus with

@@ -51,6 +51,8 @@ type stats = {
   st_epoch : int;
   st_sent : int;  (** fresh frames sent *)
   st_retx : int;  (** retransmissions *)
+  st_retx_wait : float;
+      (** virtual time spent on expired retransmission timers *)
   st_delivered : int;  (** in-order deliveries to the destination queue *)
   st_dups : int;  (** duplicates suppressed *)
   st_fenced : int;  (** stale-epoch frames discarded *)
@@ -63,3 +65,10 @@ val stats : t -> stats list
 val total_retx : t -> int
 
 val total_unacked : t -> int
+
+val retx_wait_to : t -> instance:string -> float
+(** Accumulated retransmission-timer wait on channels towards
+    [instance] — what the bus exposes as
+    {!Bus.transport_retx_wait}. The reconfiguration scripts sample it
+    around the drain phase to report how much of the quiescence wait
+    was really reliable-layer backoff ([drain.retransmit]). *)

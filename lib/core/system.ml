@@ -141,12 +141,13 @@ let start t ~app ~hosts ?params ?shards ?default_host () =
   let* () = Dr_bus.Deploy.deploy bus ~config:t.config ~app ~default_host in
   Ok bus
 
-let migrate bus ~instance ~new_instance ~new_host =
+let migrate ?precopy bus ~instance ~new_instance ~new_host =
   Dr_reconfig.Script.run_sync bus ~watch:instance (fun ~on_done ->
-      Dr_reconfig.Script.migrate bus ~instance ~new_instance ~new_host ~on_done ())
+      Dr_reconfig.Script.migrate bus ?precopy ~instance ~new_instance ~new_host
+        ~on_done ())
 
-let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline ?retry
-    () =
+let replace bus ?precopy ~instance ~new_instance ?new_module ?new_host
+    ?deadline ?retry () =
   (* with a script-level deadline or retry policy, the script itself
      handles a non-complying (or crashed) target by rolling back /
      re-attempting — the fail-fast watch would cut it short *)
@@ -156,8 +157,8 @@ let replace bus ~instance ~new_instance ?new_module ?new_host ?deadline ?retry
     | _ -> None
   in
   Dr_reconfig.Script.run_sync bus ?watch (fun ~on_done ->
-      Dr_reconfig.Script.replace bus ~instance ~new_instance ?new_module
-        ?new_host ?deadline ?retry ~on_done ())
+      Dr_reconfig.Script.replace bus ?precopy ~instance ~new_instance
+        ?new_module ?new_host ?deadline ?retry ~on_done ())
 
 let replicate bus ~instance ~replica_instance ?replica_host () =
   Dr_reconfig.Script.run_sync bus ~watch:instance (fun ~on_done ->

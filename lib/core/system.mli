@@ -59,6 +59,7 @@ val start :
 (** {1 Synchronous reconfiguration wrappers} *)
 
 val migrate :
+  ?precopy:bool ->
   Dr_bus.Bus.t ->
   instance:string ->
   new_instance:string ->
@@ -67,6 +68,7 @@ val migrate :
 
 val replace :
   Dr_bus.Bus.t ->
+  ?precopy:bool ->
   instance:string ->
   new_instance:string ->
   ?new_module:string ->
@@ -79,7 +81,11 @@ val replace :
     {!Dr_reconfig.Script.replace}: a bounded signal→divulge window with
     transactional rollback, and re-attempts with virtual-time backoff.
     When a deadline or retry policy is given the run is no longer
-    fail-fast on a crashed target — the script's own deadline governs. *)
+    fail-fast on a crashed target — the script's own deadline governs.
+    [precopy] (default [false]) snapshots the running state at the
+    target's next reconfiguration point before the freeze signal, so
+    the frozen capture ships only dirtied slots
+    ({!Dr_reconfig.Script.replace}). *)
 
 val replicate :
   Dr_bus.Bus.t ->

@@ -371,7 +371,7 @@ let build_image t =
   let heap =
     Image.gather_blocks ~lookup:(fun id -> Hashtbl.find_opt t.heap id) roots
   in
-  { Image.source_module = t.prog.module_name; records; heap }
+  Image.make ~source_module:t.prog.module_name ~records ~heap
 
 (* Materialise an incoming image's heap into this machine, remapping
    symbolic block ids to fresh local ids (sharing preserved). *)

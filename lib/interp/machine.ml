@@ -1,6 +1,6 @@
 (* The MiniProc abstract machine, running resolved slot-indexed code.
 
-   Frames are flat [Value.t ref array]s and every variable access in the
+   Frames are flat [cell array]s and every variable access in the
    interpreter loop is an array read through a pre-computed index (see
    {!Resolve}); the per-access string hashing of the original engine
    (preserved as {!Ast_machine}) is gone. Observable behaviour — prints,
@@ -33,11 +33,22 @@ let pp_status ppf = function
   | Crashed message -> Fmt.pf ppf "crashed(%s)" message
   | Halted -> Fmt.string ppf "halted"
 
+(* A storage cell. The generation counter is the pre-copy dirty-tracking
+   write barrier: every store stamps the machine's current generation
+   into the cell (branch-free), and a cell is "dirty" relative to a base
+   snapshot iff its stamp reached the base generation. The counter lives
+   inside the cell — not in a per-frame side table — because by-reference
+   parameters alias cells across frames, and a write through the alias
+   must dirty the one shared cell. *)
+type cell = { mutable cv : Value.t; mutable cgen : int }
+
+let cell_v v = { cv = v; cgen = 0 }
+
 type frame = {
   rproc : R.rproc;
-  slots : Value.t ref array;
+  slots : cell array;
   mutable pc : int;
-  ret_slot : Value.t ref option;  (* caller's temp awaiting the result *)
+  ret_slot : cell option;  (* caller's temp awaiting the result *)
 }
 
 type t = {
@@ -49,7 +60,7 @@ type t = {
   mutable procs : R.rproc array;
   mutable proc_index : (string, int) Hashtbl.t;
   mutable procs_local : bool;
-  globals : Value.t ref array;
+  globals : cell array;
   global_index : (string, int) Hashtbl.t;  (* shared, read-only *)
   mutable stack : frame list;
   mutable depth : int;  (* = List.length stack, maintained on push/pop *)
@@ -74,6 +85,28 @@ type t = {
   mutable captures_taken : int;
   mutable restores_applied : int;
   mutable frames_rebuilt : int;
+  (* Pre-copy dirty tracking (see [cell]): [cur_gen] is the stamp every
+     write applies; [base_gen] > 0 arms tracking, and a cell is dirty
+     iff [cgen >= base_gen]. Stack alignment: the delta is sound only if
+     the final capture sees exactly the frames of the base snapshot —
+     same depth, and the stack never dipped below it in between
+     ([min_depth], maintained on returns until the final capture
+     starts). *)
+  mutable cur_gen : int;
+  mutable base_gen : int;
+  mutable base_depth : int;
+  mutable min_depth : int;
+  mutable stack_aligned : bool;
+  mutable capture_masks : bool array list;  (* parallel to capture_records *)
+  mutable delta_masks : bool array list option;  (* latched at mh_encode *)
+  dirty_heap : (int, unit) Hashtbl.t;
+  (* One-shot hook parked at the next reconfiguration-point gate the
+     machine executes: cleared before it runs. Used by the controller
+     for live pre-copy capture at point granularity. *)
+  mutable point_hook : (unit -> unit) option;
+  (* Superinstruction dispatch (rp_fused): opt-in per machine, and
+     automatically bypassed whenever a tracer is attached. *)
+  mutable fusion : bool;
 }
 
 let max_stack_depth = 4096
@@ -112,7 +145,7 @@ let force_crash t reason =
 
 let read_global t name =
   Option.map
-    (fun i -> !(t.globals.(i)))
+    (fun i -> t.globals.(i).cv)
     (Hashtbl.find_opt t.global_index name)
 
 let read_local t name =
@@ -120,7 +153,7 @@ let read_local t name =
   | [] -> None
   | frame :: _ ->
     Option.map
-      (fun i -> !(frame.slots.(i)))
+      (fun i -> frame.slots.(i).cv)
       (Hashtbl.find_opt frame.rproc.R.rp_slot_index name)
 
 let heap_block t id = Hashtbl.find_opt t.heap id
@@ -133,6 +166,13 @@ let cell_of_slot t frame = function
   | R.Sframe i -> frame.slots.(i)
   | R.Sglobal i -> t.globals.(i)
   | R.Sunbound name -> runtime "unbound variable %s" name
+
+(* The write barrier: every store goes through here (or stamps inline),
+   keeping the dirty-tracking generation current. Branch-free — one
+   extra word store per write whether or not tracking is armed. *)
+let set_cell t cell v =
+  cell.cv <- v;
+  cell.cgen <- t.cur_gen
 
 let block_cells t id =
   match Hashtbl.find_opt t.heap id with
@@ -164,14 +204,16 @@ let heap_store t base index v =
     if index < 0 || index >= Array.length cells then
       runtime "index %d out of bounds for block #%d of length %d" index id
         (Array.length cells);
-    cells.(index) <- v
+    cells.(index) <- v;
+    if t.base_gen > 0 then Hashtbl.replace t.dirty_heap id ()
   | Value.Vptr (id, off) ->
     let cells = block_cells t id in
     let i = off + index in
     if i < 0 || i >= Array.length cells then
       runtime "pointer store #%d+%d out of bounds (length %d)" id i
         (Array.length cells);
-    cells.(i) <- v
+    cells.(i) <- v;
+    if t.base_gen > 0 then Hashtbl.replace t.dirty_heap id ()
   | Value.Vnull -> runtime "null dereference in store"
   | v -> runtime "cannot index a %s" (Value.type_name v)
 
@@ -203,8 +245,8 @@ let as_str = function
 let rec eval t frame (e : R.rexpr) : Value.t =
   match e with
   | Rconst v -> v
-  | Rframe i -> !(frame.slots.(i))
-  | Rglobal i -> !(t.globals.(i))
+  | Rframe i -> frame.slots.(i).cv
+  | Rglobal i -> t.globals.(i).cv
   | Runbound name -> runtime "unbound variable %s" name
   | Rindex (base, idx) ->
     let b = eval t frame base in
@@ -212,7 +254,7 @@ let rec eval t frame (e : R.rexpr) : Value.t =
     heap_load t b i
   | Raddr (slot, idx) -> (
     let i = as_int (eval t frame idx) in
-    match !(cell_of_slot t frame slot) with
+    match (cell_of_slot t frame slot).cv with
     | Varr id -> Vptr (id, i)
     | Vptr (id, off) -> Vptr (id, off + i)
     | Vnull -> runtime "cannot take the address into null"
@@ -312,7 +354,7 @@ let make_frame t caller (rproc : R.rproc) (args : R.rcall_arg array) ret_slot =
   if Array.length args <> nparams then
     runtime "%s expects %d arguments, got %d" rproc.rp_source.pc_name nparams
       (Array.length args);
-  let slots = Array.map ref rproc.rp_defaults in
+  let slots = Array.map cell_v rproc.rp_defaults in
   for k = 0 to nparams - 1 do
     let slot_idx, (param : Ast.param) = rproc.rp_params.(k) in
     let a = args.(k) in
@@ -323,7 +365,7 @@ let make_frame t caller (rproc : R.rproc) (args : R.rcall_arg array) ret_slot =
         slots.(slot_idx) <- cell_of_slot t caller s
       | None -> runtime "%s: ref argument must be a variable" rproc.rp_source.pc_name
     end
-    else slots.(slot_idx) := eval t caller a.R.ca_expr
+    else set_cell t slots.(slot_idx) (eval t caller a.R.ca_expr)
   done;
   { rproc; slots; pc = 0; ret_slot }
 
@@ -332,20 +374,25 @@ let entry_frame (rproc : R.rproc) =
   if Array.length rproc.rp_params <> 0 then
     runtime "%s expects %d arguments, got 0" rproc.rp_source.pc_name
       (Array.length rproc.rp_params);
-  { rproc; slots = Array.map ref rproc.rp_defaults; pc = 0; ret_slot = None }
+  { rproc; slots = Array.map cell_v rproc.rp_defaults; pc = 0; ret_slot = None }
 
 let do_return t value =
   match t.stack with
   | [] -> runtime "return with no active frame"
   | frame :: rest -> (
     (match frame.ret_slot, value with
-    | Some slot, Some v -> slot := v
+    | Some slot, Some v -> set_cell t slot v
     | Some _, None ->
       runtime "procedure %s fell through without returning a value"
         frame.rproc.rp_source.pc_name
     | None, _ -> ());
     t.stack <- rest;
     t.depth <- t.depth - 1;
+    (* Stack-alignment watermark for pre-copy deltas: once the final
+       capture has started the unwind is the capture protocol itself and
+       must not count as a dip. *)
+    if t.base_gen > 0 && t.capture_records = [] then
+      t.min_depth <- min t.min_depth t.depth;
     match rest with [] -> t.mstatus <- Halted | _ -> ())
 
 (* ----------------------------------------------------- state capture *)
@@ -361,8 +408,26 @@ let capture t frame args =
           | R.Ralv _ -> runtime "mh_capture takes expressions")
         rest
     in
-    if t.capture_records = [] then
+    if t.capture_records = [] then begin
       t.capture_started_at <- Some (t.io.io_now ());
+      (* First record of the final capture: judge whether the stack still
+         matches the pre-copy base — same depth, never dipped below it. *)
+      if t.base_gen > 0 then
+        t.stack_aligned <-
+          t.depth = t.base_depth && t.min_depth >= t.base_depth
+    end;
+    if t.base_gen > 0 then begin
+      let mask =
+        Array.of_list
+          (List.map
+             (function
+               | R.Raexpr (R.Rframe i) -> frame.slots.(i).cgen >= t.base_gen
+               | R.Raexpr (R.Rglobal i) -> t.globals.(i).cgen >= t.base_gen
+               | _ -> true (* not a plain slot: treat as dirty *))
+             rest)
+      in
+      t.capture_masks <- mask :: t.capture_masks
+    end;
     t.captures_taken <- t.captures_taken + 1;
     t.capture_records <- { Image.location; values } :: t.capture_records
   | _ -> runtime "mh_capture: missing location"
@@ -373,7 +438,7 @@ let build_image t =
   let heap =
     Image.gather_blocks ~lookup:(fun id -> Hashtbl.find_opt t.heap id) roots
   in
-  { Image.source_module = t.prog.module_name; records; heap }
+  Image.make ~source_module:t.prog.module_name ~records ~heap
 
 (* Materialise an incoming image's heap into this machine, remapping
    symbolic block ids to fresh local ids (sharing preserved). *)
@@ -427,9 +492,9 @@ let restore t frame args =
           (List.length record.values) (List.length targets);
       let assign lv v =
         match lv with
-        | R.Ralv (R.Rlvar slot) -> cell_of_slot t frame slot := v
+        | R.Ralv (R.Rlvar slot) -> set_cell t (cell_of_slot t frame slot) v
         | R.Ralv (R.Rlindex (slot, idx)) ->
-          let base = !(cell_of_slot t frame slot) in
+          let base = (cell_of_slot t frame slot).cv in
           heap_store t base (as_int (eval t frame idx)) v
         | R.Raexpr _ -> runtime "mh_restore takes lvalues"
       in
@@ -453,9 +518,9 @@ let exec_stmt_builtin t frame name args =
       match t.io.io_read iface with
       | Some v ->
         (match target with
-        | R.Rlvar slot -> cell_of_slot t frame slot := v
+        | R.Rlvar slot -> set_cell t (cell_of_slot t frame slot) v
         | R.Rlindex (slot, idx) ->
-          let base = !(cell_of_slot t frame slot) in
+          let base = (cell_of_slot t frame slot).cv in
           heap_store t base (as_int (eval t frame idx)) v);
         advance ()
       | None ->
@@ -480,6 +545,12 @@ let exec_stmt_builtin t frame name args =
     let image = build_image t in
     t.divulged_image <- Some image;
     t.capture_records <- [];
+    (* Latch the delta basis for the controller: masks are only usable
+       if the stack stayed aligned with the pre-copy base. *)
+    if t.base_gen > 0 then
+      t.delta_masks <-
+        (if t.stack_aligned then Some (List.rev t.capture_masks) else None);
+    t.capture_masks <- [];
     t.io.io_encode image;
     advance ()
   | "mh_decode" -> (
@@ -500,18 +571,29 @@ let exec_stmt_builtin t frame name args =
 
 (* -------------------------------------------------------------- step *)
 
-let exec_instr t frame (instr : R.rinstr) =
+let rec exec_instr t frame (instr : R.rinstr) =
   let advance () = frame.pc <- frame.pc + 1 in
   match instr with
   | Rskip -> advance ()
   | Rassign (Rlvar slot, e) ->
-    cell_of_slot t frame slot := eval t frame e;
+    set_cell t (cell_of_slot t frame slot) (eval t frame e);
     advance ()
   | Rassign (Rlindex (slot, idx), e) ->
-    let base = !(cell_of_slot t frame slot) in
+    let base = (cell_of_slot t frame slot).cv in
     let i = as_int (eval t frame idx) in
     heap_store t base i (eval t frame e);
     advance ()
+  | Rpoint_gate inner ->
+    (* A reconfiguration-point gate: fire the controller's one-shot hook
+       (live pre-copy capture), then run the wrapped instruction. Counts
+       as the one instruction it wraps — the tracer and golden traces
+       see the original source instruction. *)
+    (match t.point_hook with
+    | Some hook ->
+      t.point_hook <- None;
+      hook ()
+    | None -> ());
+    exec_instr t frame inner
   | Rcall { target; callee; args; ret_slot } ->
     if t.depth >= max_stack_depth then
       runtime "stack overflow calling %s" callee;
@@ -592,12 +674,198 @@ let step t =
         | Runtime_error message -> t.mstatus <- Crashed message
       end))
 
-let run ?(max_steps = max_int) t =
-  let steps = ref 0 in
-  while t.mstatus = Ready && !steps < max_steps do
-    step t;
-    incr steps
-  done
+(* Superinstruction dispatch: execute a fused straight-line run in one
+   dispatch. Instruction counting is per sub-instruction (incremented
+   before each exec, exactly like [step]), so counts, costs and crash
+   attribution are identical to unfused execution. A false-taken
+   Fcjump_run executes one instruction, not the whole run.
+
+   Run members are pre-destructured assigns/skips, executed here with a
+   three-way match instead of the full [exec_instr] dispatch. pc is
+   written before each member (not advanced after, as [exec_instr]
+   would), which keeps crash attribution exact: a member that raises
+   leaves pc at its own index, just like unfused execution. The tail
+   transfer, if any, runs through [exec_instr] with pc already at its
+   index, so its pc arithmetic (call resumption, branch targets) is
+   untouched. *)
+let exec_run t frame ~base (body : R.fmember array) (tail : R.rinstr option) =
+  for k = 0 to Array.length body - 1 do
+    frame.pc <- base + k;
+    t.instrs_executed <- t.instrs_executed + 1;
+    match Array.unsafe_get body k with
+    | R.Mskip -> ()
+    | R.Massign (slot, e) -> set_cell t (cell_of_slot t frame slot) (eval t frame e)
+    | R.Massign_index (slot, idx, e) ->
+      let b = (cell_of_slot t frame slot).cv in
+      let i = as_int (eval t frame idx) in
+      heap_store t b i (eval t frame e)
+  done;
+  frame.pc <- base + Array.length body;
+  match tail with
+  | Some (R.Rjump target) ->
+    (* the overwhelmingly common loop-closing tail, inlined *)
+    t.instrs_executed <- t.instrs_executed + 1;
+    frame.pc <- target
+  | Some i ->
+    t.instrs_executed <- t.instrs_executed + 1;
+    exec_instr t frame i
+  | None -> ()
+
+let exec_fused t frame (f : R.fused) =
+  match f with
+  | R.Frun { body; tail } -> exec_run t frame ~base:frame.pc body tail
+  | R.Fcjump_run { cond; if_false; body; tail } ->
+    t.instrs_executed <- t.instrs_executed + 1;
+    if as_bool (eval t frame cond) then
+      exec_run t frame ~base:(frame.pc + 1) body tail
+    else frame.pc <- if_false
+
+(* Budgeted execution: run at most [budget] instructions while Ready,
+   returning the number actually executed. This is the bus's quantum
+   loop, hoisted into the machine so the hot path pays one status check
+   per instruction instead of a full [step] call, and so fused pairs can
+   dispatch once. Fusion engages only when enabled, no tracer is
+   attached, and at least two instructions of budget remain (a fused
+   pair must never overrun the quantum). *)
+let exec_budget t budget =
+  let start = t.instrs_executed in
+  (* absolute threshold, so the loop and the fusion headroom test are
+     plain int compares on the counter — no per-iteration arithmetic *)
+  let stop = if budget >= max_int - start then max_int else start + budget in
+  while t.mstatus = Ready && t.instrs_executed < stop do
+    run_pending_signal t;
+    match t.stack with
+    | [] -> t.mstatus <- Halted
+    | frame :: _ ->
+      if frame.pc < 0 || frame.pc >= Array.length frame.rproc.rp_instrs then
+        t.mstatus <-
+          Crashed
+            (Printf.sprintf "pc out of range in %s" frame.rproc.rp_source.pc_name)
+      else begin
+        match t.tracer with
+        | Some hook ->
+          t.instrs_executed <- t.instrs_executed + 1;
+          hook frame.rproc.rp_source.pc_name frame.pc
+            frame.rproc.rp_source.pc_instrs.(frame.pc);
+          (try exec_instr t frame frame.rproc.rp_instrs.(frame.pc) with
+          | Runtime_error message -> t.mstatus <- Crashed message)
+        | None -> (
+          let fused =
+            if t.fusion && frame.pc < Array.length frame.rproc.rp_fused then
+              Array.unsafe_get frame.rproc.rp_fused frame.pc
+            else None
+          in
+          match fused with
+          | Some f when t.instrs_executed + R.fused_length f <= stop -> (
+            try exec_fused t frame f with
+            | Runtime_error message -> t.mstatus <- Crashed message)
+          | Some _ | None ->
+            t.instrs_executed <- t.instrs_executed + 1;
+            (try exec_instr t frame frame.rproc.rp_instrs.(frame.pc) with
+            | Runtime_error message -> t.mstatus <- Crashed message))
+      end
+  done;
+  t.instrs_executed - start
+
+let run ?(max_steps = max_int) t = ignore (exec_budget t max_steps)
+
+(* ------------------------------------------------- live pre-copy API *)
+
+let set_fusion t on = t.fusion <- on
+let fusion_enabled t = t.fusion
+
+let set_point_hook t hook = t.point_hook <- hook
+
+(* Arm dirty tracking against the state as of now: bump the generation
+   so every later write stamps above [base_gen], and reset the stack
+   watermark. Called by the controller right after [live_capture]. *)
+let begin_dirty_tracking t =
+  t.cur_gen <- t.cur_gen + 1;
+  t.base_gen <- t.cur_gen;
+  t.base_depth <- t.depth;
+  t.min_depth <- t.depth;
+  t.stack_aligned <- false;
+  t.capture_masks <- [];
+  t.delta_masks <- None;
+  Hashtbl.reset t.dirty_heap
+
+let delta_basis t =
+  match t.delta_masks with
+  | None -> None
+  | Some masks -> Some (masks, fun id -> Hashtbl.mem t.dirty_heap id)
+
+(* Non-destructively capture the image the machine *would* divulge if it
+   froze right now. Only valid when the machine is parked at a
+   reconfiguration-point gate (the point hook fires there): the capture
+   arguments of the innermost frame's point block — and of each
+   suspended caller's call-capture block — are read directly, without
+   executing anything. Lowered layout (see Transform.Instrument):
+
+     point block:  gate(pc) reconfig:=false capturestack:=true  mh_capture
+     call  block:  cjump(capturestack)  mh_capture
+
+   so the innermost capture instruction sits at pc+3 and each suspended
+   caller's at its saved pc+1. Any deviation — a non-gate pc, a capture
+   argument that is not a plain slot — returns [None] and the controller
+   falls back to the freeze-and-capture path. Heap cells are deep-copied
+   because the machine keeps running and will mutate them. *)
+let live_capture t =
+  match t.stack with
+  | [] -> None
+  | innermost :: outer ->
+    let gate_ok =
+      innermost.pc >= 0
+      && innermost.pc < Array.length innermost.rproc.rp_instrs
+      &&
+      match innermost.rproc.rp_instrs.(innermost.pc) with
+      | R.Rpoint_gate _ -> true
+      | _ -> false
+    in
+    if not gate_ok then None
+    else begin
+      let exception Fallback in
+      let record_of frame capture_pc =
+        if capture_pc < 0 || capture_pc >= Array.length frame.rproc.rp_instrs
+        then raise Fallback;
+        match frame.rproc.rp_instrs.(capture_pc) with
+        | R.Rbuiltin_stmt
+            ("mh_capture", R.Raexpr (R.Rconst (Value.Vint location)) :: rest)
+          ->
+          let values =
+            List.map
+              (function
+                | R.Raexpr (R.Rframe i) -> frame.slots.(i).cv
+                | R.Raexpr (R.Rglobal i) -> t.globals.(i).cv
+                | _ -> raise Fallback)
+              rest
+          in
+          { Image.location; values }
+        | _ -> raise Fallback
+      in
+      try
+        (* Image record order: deepest frame first, main last — the same
+           order [build_image] produces. *)
+        let records =
+          record_of innermost (innermost.pc + 3)
+          :: List.map (fun f -> record_of f (f.pc + 1)) outer
+        in
+        let roots =
+          List.concat_map (fun (r : Image.record) -> r.values) records
+        in
+        let heap =
+          Image.gather_blocks
+            ~lookup:(fun id -> Hashtbl.find_opt t.heap id)
+            roots
+        in
+        let heap =
+          List.map
+            (fun (id, (b : Image.heap_block)) ->
+              (id, { Image.elem_ty = b.elem_ty; cells = Array.copy b.cells }))
+            heap
+        in
+        Some (Image.make ~source_module:t.prog.module_name ~records ~heap)
+      with Fallback -> None
+    end
 
 (* ---------------------------------------------------- baseline support *)
 
@@ -606,7 +874,7 @@ let stack_procs t = List.map (fun f -> f.rproc.R.rp_source.pc_name) t.stack
 let state_size t =
   let value_cost v = Image.value_size v in
   let cells_cost slots =
-    Array.fold_left (fun acc cell -> acc + value_cost !cell) 0 slots
+    Array.fold_left (fun acc cell -> acc + value_cost cell.cv) 0 slots
   in
   let heap_cost =
     Hashtbl.fold
@@ -621,12 +889,12 @@ let state_size t =
 (* Deep copy preserving cell aliasing (by-reference parameters share
    cells across frames; the copy must too). *)
 let clone t ~io =
-  let cell_map : (Value.t ref * Value.t ref) list ref = ref [] in
+  let cell_map : (cell * cell) list ref = ref [] in
   let copy_cell cell =
     match List.find_opt (fun (old_cell, _) -> old_cell == cell) !cell_map with
     | Some (_, fresh) -> fresh
     | None ->
-      let fresh = ref !cell in
+      let fresh = { cv = cell.cv; cgen = cell.cgen } in
       cell_map := (cell, fresh) :: !cell_map;
       fresh
   in
@@ -672,7 +940,17 @@ let clone t ~io =
     restore_done_at = t.restore_done_at;
     captures_taken = t.captures_taken;
     restores_applied = t.restores_applied;
-    frames_rebuilt = t.frames_rebuilt }
+    frames_rebuilt = t.frames_rebuilt;
+    cur_gen = t.cur_gen;
+    base_gen = t.base_gen;
+    base_depth = t.base_depth;
+    min_depth = t.min_depth;
+    stack_aligned = t.stack_aligned;
+    capture_masks = t.capture_masks;
+    delta_masks = t.delta_masks;
+    dirty_heap = Hashtbl.copy t.dirty_heap;
+    point_hook = None;  (* hooks are controller-side, never cloned *)
+    fusion = t.fusion }
 
 let replace_proc_code t (code : Ir.proc_code) =
   if not t.procs_local then begin
@@ -696,7 +974,7 @@ let create ?(status_attr = "normal") ~io ?resolved (prog : Ast.program) =
     | None -> Resolve.resolve_program prog (Lower.lower_program prog)
   in
   let globals =
-    Array.map (fun (_, ty) -> ref (Value.default_of_ty ty)) rprog.R.rg_globals
+    Array.map (fun (_, ty) -> cell_v (Value.default_of_ty ty)) rprog.R.rg_globals
   in
   let t =
     { prog; rprog; procs = rprog.rg_procs; proc_index = rprog.rg_proc_index;
@@ -707,7 +985,10 @@ let create ?(status_attr = "normal") ~io ?resolved (prog : Ast.program) =
       status_attr; io; instrs_executed = 0; tracer = None;
       signal_handled_at = None; capture_started_at = None;
       restore_done_at = None; captures_taken = 0; restores_applied = 0;
-      frames_rebuilt = 0 }
+      frames_rebuilt = 0;
+      cur_gen = 1; base_gen = 0; base_depth = 0; min_depth = 0;
+      stack_aligned = false; capture_masks = []; delta_masks = None;
+      dirty_heap = Hashtbl.create 8; point_hook = None; fusion = false }
   in
   let scratch_frame =
     { rproc = R.scratch_proc; slots = [||]; pc = 0; ret_slot = None }
@@ -718,7 +999,7 @@ let create ?(status_attr = "normal") ~io ?resolved (prog : Ast.program) =
       | Some re -> (
         (* an initialiser that fails (e.g. forward reference) leaves the
            type default in place, like the unresolved engine *)
-        try t.globals.(i) := eval t scratch_frame re with Runtime_error _ -> ())
+        try t.globals.(i).cv <- eval t scratch_frame re with Runtime_error _ -> ())
       | None -> ())
     rprog.rg_global_inits;
   (match Hashtbl.find_opt t.proc_index "main" with

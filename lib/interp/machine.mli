@@ -4,7 +4,7 @@
     executes {!Resolve}d slot-indexed instructions one [step] at a time
     so an external scheduler (the software bus) can interleave modules,
     deliver messages and signals, and account for simulated time. Frames
-    are flat [Value.t ref array]s; the interpreter loop does no string
+    are flat arrays of mutable cells; the interpreter loop does no string
     hashing (the original hashtable engine survives as {!Ast_machine},
     the semantic reference).
 
@@ -46,6 +46,20 @@ val step : t -> unit
 
 val run : ?max_steps:int -> t -> unit
 (** Step until the machine stops being [Ready] or the budget runs out. *)
+
+val exec_budget : t -> int -> int
+(** [exec_budget t n] executes at most [n] instructions while [Ready]
+    and returns the number actually executed — the bus's quantum loop,
+    hoisted into the machine so the hot path avoids a per-instruction
+    [step] call and can dispatch fused pairs (see {!set_fusion}). *)
+
+val set_fusion : t -> bool -> unit
+(** Enable superinstruction dispatch ({!Resolve.fused}): adjacent
+    compatible instructions execute in one dispatch. Off by default.
+    Instruction counts, crash semantics and observable behaviour are
+    unchanged; a machine with a tracer attached always runs unfused. *)
+
+val fusion_enabled : t -> bool
 
 val set_ready : t -> unit
 (** Wake a [Sleeping]/[Blocked_*] machine (the scheduler decides when). *)
@@ -119,6 +133,40 @@ val set_tracer : t -> (string -> int -> Ir.instr -> unit) option -> unit
     instruction executes — debugging support for [drc exec --trace]. *)
 
 val pp_status : Format.formatter -> status -> unit
+
+(** {2 Live pre-copy capture}
+
+    The controller can snapshot a running instance's divulgable state
+    {e without} freezing it, then track writes so the post-freeze
+    capture ships only the dirtied slots as an {!Dr_state.Image.delta}.
+    Protocol: park a hook at the next reconfiguration point
+    ({!set_point_hook}); in the hook, {!live_capture} the base image and
+    {!begin_dirty_tracking}; after the real (frozen) capture divulges,
+    {!delta_basis} yields the per-record dirty masks for
+    {!Dr_state.Image.diff} — or [None] when the stack shape diverged
+    from the base, in which case the full image is authoritative. *)
+
+val set_point_hook : t -> (unit -> unit) option -> unit
+(** One-shot hook fired the next time execution reaches a
+    reconfiguration-point gate (before the point's own logic runs);
+    cleared before it is invoked. *)
+
+val live_capture : t -> Dr_state.Image.t option
+(** Non-destructive capture of the image the machine would divulge if
+    frozen at the current reconfiguration point. Only meaningful from
+    inside a point hook (the machine must be parked at the gate);
+    [None] whenever the state cannot be read without executing —
+    callers fall back to the ordinary freeze path. *)
+
+val begin_dirty_tracking : t -> unit
+(** Arm the write barrier: from now until the next capture completes,
+    every slot and heap write is tracked against the just-taken base. *)
+
+val delta_basis : t -> (bool array list * (int -> bool)) option
+(** After a divulge with tracking armed: per-record dirty masks (in
+    image record order) and a heap-block dirty predicate, suitable for
+    {!Dr_state.Image.diff} against the base. [None] if the stack shape
+    diverged from the base snapshot (the delta would be unsound). *)
 
 (** {1 Support for the baseline systems (paper §4)} *)
 

@@ -20,6 +20,8 @@ type entry = Persist.entry =
   | Armed_divulge of string
   | Divulged of { d_cap : Primitives.module_cap; d_image : Image.t }
   | Renamed_transport of { rt_old : string; rt_new : string; rt_fence : bool }
+  | Precopy_base of { pb_instance : string; pb_image : Image.t }
+  | Divulged_delta of { dd_cap : Primitives.module_cap; dd_delta : Image.delta }
 
 type t = {
   bus : Bus.t;
@@ -159,11 +161,31 @@ let arm_divulge t ~instance callback =
   logged_op t (Armed_divulge instance) (fun () ->
       Bus.on_divulge t.bus ~instance callback)
 
-let note_divulged t ~cap ~image =
+let note_precopy_base t ~instance ~image =
+  (* no bus operation — the pre-copy snapshot goes to the log so a later
+     Divulged_delta can be resolved against it on recovery. Nothing to
+     undo: a base that never gains a delta is inert. *)
+  logged_op t (Precopy_base { pb_instance = instance; pb_image = image })
+    (fun () -> ())
+
+let note_divulged ?delta t ~cap ~image =
   (* no bus operation — the record spills the divulged image (its own
      DRIMG2 checksum inside the log record's CRC) so recovery can
-     return the old instance to service *)
-  logged_op t (Divulged { d_cap = cap; d_image = image }) (fun () -> ())
+     return the old instance to service. With [?delta] (pre-copy path)
+     only the dirtied slots hit the wire as a DRIMGD1 container; the
+     in-memory journal still holds the full image, so rollback never
+     depends on delta resolution. *)
+  match delta with
+  | None -> logged_op t (Divulged { d_cap = cap; d_image = image }) (fun () -> ())
+  | Some d ->
+    let logged =
+      log t
+        (Persist.Entry
+           { sid = t.sid;
+             entry = Divulged_delta { dd_cap = cap; dd_delta = d } })
+    in
+    push t (Divulged { d_cap = cap; d_image = image });
+    if logged then Bus.ctl_tick t.bus
 
 (* Deliberately a complete no-op (no journal entry, no bus call) when
    no transport is installed: on the classic fire-and-forget bus a
@@ -253,6 +275,16 @@ let undo t ~pfx ~restored = function
     Bus.transport_rename t.bus ~old_instance:rt_new ~new_instance:rt_old
       ~fence:rt_fence;
     record t "%sreturned reliable channels of %s to %s" pfx rt_new rt_old
+  | Precopy_base { pb_instance; _ } ->
+    (* a snapshot of a still-running instance: nothing was changed *)
+    record t "%spre-copy base of %s discarded" pfx pb_instance
+  | Divulged_delta { dd_cap; _ } ->
+    (* never in a live journal (note_divulged keeps the full image in
+       memory) — only a recovery that failed to resolve the base could
+       surface one, and scan rejects that earlier. Nothing sound to
+       restore from a bare delta. *)
+    record t "%scannot restore %s from an unresolved delta" pfx
+      dd_cap.Primitives.cap_instance
   | Divulged { d_cap; d_image } ->
     (* The target complied: it divulged and is halting — it may even
        still be [Ready], winding down the tail of the quantum that

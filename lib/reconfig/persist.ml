@@ -22,6 +22,8 @@ type entry =
   | Armed_divulge of string
   | Divulged of { d_cap : Primitives.module_cap; d_image : Image.t }
   | Renamed_transport of { rt_old : string; rt_new : string; rt_fence : bool }
+  | Precopy_base of { pb_instance : string; pb_image : Image.t }
+  | Divulged_delta of { dd_cap : Primitives.module_cap; dd_delta : Image.delta }
 
 type record =
   | Begin of { sid : int; label : string }
@@ -175,6 +177,16 @@ let w_entry buf = function
     Wire.write_string buf rt_old;
     Wire.write_string buf rt_new;
     w_bool buf rt_fence
+  | Precopy_base { pb_instance; pb_image } ->
+    Bin_util.write_u8 buf 10;
+    Wire.write_string buf pb_instance;
+    w_image buf pb_image
+  | Divulged_delta { dd_cap; dd_delta } ->
+    Bin_util.write_u8 buf 11;
+    w_cap buf dd_cap;
+    (* like images, deltas travel as complete DRIMGD1 containers *)
+    Wire.write_string buf
+      (Bytes.unsafe_to_string (Codec.encode_delta dd_delta))
 
 let r_entry r =
   match Bin_util.read_u8 r with
@@ -213,6 +225,18 @@ let r_entry r =
     let rt_new = Wire.read_string r in
     let rt_fence = r_bool r in
     Renamed_transport { rt_old; rt_new; rt_fence }
+  | 10 ->
+    let pb_instance = Wire.read_string r in
+    let pb_image = r_image r in
+    Precopy_base { pb_instance; pb_image }
+  | 11 ->
+    let dd_cap = r_cap r in
+    let dd_delta =
+      match Codec.decode_delta (Bytes.of_string (Wire.read_string r)) with
+      | Ok d -> d
+      | Error e -> malformed "embedded delta: %s" e
+    in
+    Divulged_delta { dd_cap; dd_delta }
   | tag -> malformed "unknown journal entry tag %d" tag
 
 (* -------------------------------------------------------------- records *)
@@ -295,6 +319,14 @@ let describe_entry = function
   | Renamed_transport { rt_old; rt_new; rt_fence } ->
     Printf.sprintf "renamed transport %s -> %s%s" rt_old rt_new
       (if rt_fence then " (fenced)" else "")
+  | Precopy_base { pb_instance; pb_image } ->
+    Printf.sprintf "pre-copy base of %s: %d byte(s), digest %016Lx"
+      pb_instance (Image.byte_size pb_image) (Image.digest pb_image)
+  | Divulged_delta { dd_cap; dd_delta } ->
+    Printf.sprintf "%s divulged delta: %d slot(s), %d byte(s), base %016Lx"
+      dd_cap.Primitives.cap_instance
+      (List.length dd_delta.Image.d_slots)
+      (Image.delta_byte_size dd_delta) dd_delta.Image.d_base_digest
 
 let describe = function
   | Begin { sid; label } -> Printf.sprintf "begin   #%d %s" sid label

@@ -36,6 +36,15 @@ type entry =
   | Armed_divulge of string
   | Divulged of { d_cap : Primitives.module_cap; d_image : Dr_state.Image.t }
   | Renamed_transport of { rt_old : string; rt_new : string; rt_fence : bool }
+  | Precopy_base of { pb_instance : string; pb_image : Dr_state.Image.t }
+      (** live pre-copy snapshot taken before the freeze; recovery keys
+          it by digest to resolve later [Divulged_delta] entries *)
+  | Divulged_delta of {
+      dd_cap : Primitives.module_cap;
+      dd_delta : Dr_state.Image.delta;
+    }
+      (** a divulge persisted as dirtied-slots-only (DRIMGD1) against
+          the pre-copy base named by [dd_delta.d_base_digest] *)
 
 type record =
   | Begin of { sid : int; label : string }

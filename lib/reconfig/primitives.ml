@@ -93,8 +93,13 @@ let translate_image bus ?for_instance ~src_host ~dst_host image =
       in
       let result =
         let ( let* ) = Result.bind in
+        (* [recode] is the zero-copy fast path: when both hosts share
+           byte order and word width the native bytes pass through
+           untouched — no abstract-tree round trip. The destination
+           decode below still verifies the container CRC, so the
+           corruption fault above is caught on either path. *)
         let* native_dst =
-          Codec.Native.translate ~src:src.arch ~dst:dst.arch native_src
+          Codec.Native.recode ~src:src.arch ~dst:dst.arch native_src
         in
         Codec.Native.decode dst.arch native_dst
       in

@@ -1,6 +1,7 @@
 module P = Primitives
 module Bus = Dr_bus.Bus
 module Image = Dr_state.Image
+module Codec = Dr_state.Codec
 module Metrics = Dr_obs.Metrics
 module Machine = Dr_interp.Machine
 
@@ -38,23 +39,66 @@ let fail_span bus sp reason =
 
 (* Children with concrete times, built at divulge time from the old
    machine's stamps; the restore child (and the root) end lazily when
-   the restored machine consumes its last record. *)
+   the restored machine consumes its last record.
+
+   Pre-copy runs open the root span at the freeze (the old machine's
+   capture stamp) rather than at the signal: until the capture block
+   ran, the module was still serving — with a warm base already copied
+   — so the signal and drain children collapse to zero width. They add
+   two zero-width markers: [precopy] (how big the live base snapshot
+   was and how long the module kept serving after the request, the
+   [wait] attr) and [delta] (how much of the capture actually shipped,
+   or why the full image stayed authoritative). The identity total ==
+   signal + drain + capture + translate + restore holds in every mode. [retx_wait] is the
+   reliable layer's retransmission backoff accumulated inside the
+   window — the part of drain that is network stall, not quiescence. *)
 let divulge_children bus sp ~t0 ~old_machine ~restored_instance ~bytes_in
-    ~bytes_out =
+    ~bytes_out ?precopy ?delta ?retx_wait () =
   match sp with
   | None -> ()
   | Some s ->
     let t_div = Bus.now bus in
-    let t_sig = Option.value ~default:t0 (Machine.signal_handled_at old_machine) in
+    (* clamp the machine stamps into [t0, t_div]: under pre-copy the
+       window origin is the freeze, so the signal/drain phases (which
+       happened while the module was still serving) collapse to zero
+       width and the identity still tiles *)
+    let t_sig =
+      Float.max t0 (Option.value ~default:t0 (Machine.signal_handled_at old_machine))
+    in
     let t_cap =
-      Option.value ~default:t_div (Machine.capture_started_at old_machine)
+      Float.max t_sig
+        (Option.value ~default:t_div (Machine.capture_started_at old_machine))
     in
     let interval kind a b =
       Metrics.finish (Metrics.child s ~kind ~start:a ()) ~at:b
     in
     interval "signal" t0 t_sig;
-    interval "drain" t_sig t_cap;
+    let dr = Metrics.child s ~kind:"drain" ~start:t_sig () in
+    (match retx_wait with
+    | Some w when w > 0.0 ->
+      Metrics.set_attr dr "retransmit_wait" (Printf.sprintf "%.3f" w);
+      (match Bus.metrics bus with
+      | Some r -> Metrics.observe r "drain.retransmit" w
+      | None -> ())
+    | _ -> ());
+    Metrics.finish dr ~at:t_cap;
     interval "capture" t_cap t_div;
+    (match precopy with
+    | Some (base_bytes, base_records, wait) ->
+      let pc = Metrics.child s ~kind:"precopy" ~start:t_div () in
+      Metrics.set_attr pc "base_bytes" (string_of_int base_bytes);
+      Metrics.set_attr pc "base_records" (string_of_int base_records);
+      Metrics.set_attr pc "wait" (Printf.sprintf "%.3f" wait);
+      Metrics.finish pc ~at:t_div
+    | None -> ());
+    (match delta with
+    | Some (fallback, slots, bytes) ->
+      let dc = Metrics.child s ~kind:"delta" ~start:t_div () in
+      Metrics.set_attr dc "fallback" fallback;
+      Metrics.set_attr dc "delta_slots" (string_of_int slots);
+      Metrics.set_attr dc "delta_bytes" (string_of_int bytes);
+      Metrics.finish dc ~at:t_div
+    | None -> ());
     let tr = Metrics.child s ~kind:"translate" ~start:t_div () in
     Metrics.set_attr tr "bytes_in" (string_of_int bytes_in);
     Metrics.set_attr tr "bytes_out" (string_of_int bytes_out);
@@ -109,9 +153,20 @@ let rebind_batch (cap : P.module_cap) ~new_instance =
    expiry while the module travels to its reconfiguration point — rolls
    the journal back, leaving the old configuration fully routed. On the
    success path the journal commits silently, so the trace is exactly
-   the Fig. 5 sequence it always was. *)
-let replace bus ?(span_kind = "replace") ~instance ~new_instance ?new_module
-    ?new_host ?deadline ?(retry = no_retry) ~on_done () =
+   the Fig. 5 sequence it always was.
+
+   With [~precopy:true] the freeze signal is deferred: a one-shot hook
+   parks at the target's next reconfiguration point, snapshots the
+   running state there ({!Machine.live_capture}), arms the write
+   barrier, and only then signals. The module keeps serving while the
+   base image exists elsewhere; the post-freeze capture needs to ship
+   only the slots dirtied since — a delta against the base — when the
+   move is same-architecture and the stack shape held. Every guard
+   failure falls back to the full image, so pre-copy can only shrink
+   the window, never change the outcome. *)
+let replace bus ?(span_kind = "replace") ?(precopy = false) ~instance
+    ~new_instance ?new_module ?new_host ?deadline ?(retry = no_retry) ~on_done
+    () =
   let rec attempt n ~host_override =
     let finish outcome =
       match outcome with
@@ -146,14 +201,19 @@ let replace bus ?(span_kind = "replace") ~instance ~new_instance ?new_module
       in
       record bus "replace %s: %s on %s -> %s: %s on %s" instance
         cap0.cap_module cap0.cap_host new_instance module_name host;
-      let t0 = Bus.now bus in
-      let sp =
-        open_span bus ~kind:span_kind
-          ~attrs:
-            [ ("instance", instance); ("new_instance", new_instance);
-              ("module", module_name); ("src_host", cap0.cap_host);
-              ("dst_host", host); ("attempt", string_of_int n) ]
+      let t_req = Bus.now bus in
+      let t0 = ref t_req in
+      let span_attrs =
+        [ ("instance", instance); ("new_instance", new_instance);
+          ("module", module_name); ("src_host", cap0.cap_host);
+          ("dst_host", host); ("attempt", string_of_int n) ]
+        @ if precopy then [ ("precopy", "on") ] else []
       in
+      (* in the pre-copy mode the span (and t0) opens at the freeze —
+         the wait for the module to pass a point is service, not
+         disruption; without pre-copy it opens here, exactly as before *)
+      let sp = ref None in
+      if not precopy then sp := open_span bus ~kind:span_kind ~attrs:span_attrs;
       let j =
         Journal.create bus
           ~label:(Printf.sprintf "replace %s -> %s" instance new_instance)
@@ -163,91 +223,239 @@ let replace bus ?(span_kind = "replace") ~instance ~new_instance ?new_module
         if not !settled then begin
           settled := true;
           (match outcome with
-          | Error e -> fail_span bus sp e
+          | Error e -> fail_span bus !sp e
           | Ok _ -> ());
           finish outcome
         end
       in
+      let disarm_hook () =
+        match Bus.machine bus ~instance with
+        | Some m -> Machine.set_point_hook m None
+        | None -> ()
+      in
       let fail e =
+        disarm_hook ();
         Journal.rollback j ~reason:e;
         conclude (Error e)
       in
-      Journal.arm_divulge j ~instance (fun image ->
-          if not !settled then
-            (* Grab the old machine's handle now, before [Journal.kill]
-               removes the instance — its virtual-time stamps decompose
-               the disruption window after it is gone. *)
-            let old_machine = Bus.machine bus ~instance in
-            (* Re-snapshot NOW: other reconfigurations may have rebound
-               the module's interfaces while it was travelling to its
-               reconfiguration point, and the batch must edit the
-               *current* configuration (the paper: obj_cap "corresponds
-               to the current configuration, which could have been
-               changed dynamically"). *)
-            match P.obj_cap bus ~instance with
-            | Error e -> fail e
-            | Ok cap -> (
-              Journal.note_divulged j ~cap ~image;
-              (* end-to-end integrity: the digest taken at capture must
-                 survive encode/translate/decode, and [deposit_state
-                 ~expect] re-verifies it at the restore boundary *)
-              let d0 = Image.digest image in
-              match
-                P.translate_image bus ~for_instance:instance
-                  ~src_host:cap.cap_host ~dst_host:host image
-              with
-              | Error e -> fail (Printf.sprintf "state translation failed: %s" e)
-              | Ok image' when not (Int64.equal (Image.digest image') d0) ->
-                Bus.quarantine_image bus ~instance
-                  ~reason:"digest mismatch after translation"
-                  ~byte_size:(Image.byte_size image');
-                fail "state image digest mismatch after translation"
-              | Ok image' -> (
-                let batch = rebind_batch cap ~new_instance in
-                (* The old module has complied. Start the new instance
-                   first so the batch's queue-copy commands have a live
-                   destination, then apply the rebinding commands all at
-                   once, deposit the state, and remove the old instance.
-                   All of this happens at one instant of virtual time —
-                   no quantum runs in between. *)
+      (* the live base snapshot and how long the module served on after
+         the request before reaching a point *)
+      let base_info = ref None in
+      let retx0 = ref 0.0 in
+      let divulge image =
+        if not !settled then
+          (* the reliable layer's backoff accumulated against the old
+             name so far; sampled before the rename hands its channels
+             to the clone *)
+          let retx_w = Bus.transport_retx_wait bus ~instance -. !retx0 in
+          (* Grab the old machine's handle now, before [Journal.kill]
+             removes the instance — its virtual-time stamps decompose
+             the disruption window after it is gone. *)
+          let old_machine = Bus.machine bus ~instance in
+          (* Pre-copy accounting: the window opens at the freeze. The
+             module served normally — with a warm base already copied
+             and dirty tracking armed — right up to the moment its
+             capture block ran; shifting that service time out of the
+             window is the entire point of pre-copy. The pre-freeze
+             serving time is reported on the [precopy] marker as
+             [wait]. *)
+          (if precopy && Option.is_none !sp then
+             let t_freeze =
+               match old_machine with
+               | Some om ->
+                 Option.value ~default:(Bus.now bus)
+                   (Machine.capture_started_at om)
+               | None -> Bus.now bus
+             in
+             t0 := t_freeze;
+             sp :=
+               match Bus.metrics bus with
+               | None -> None
+               | Some r ->
+                 Some
+                   (Metrics.span r ~attrs:span_attrs ~kind:span_kind
+                      ~start:t_freeze ()));
+          (* Re-snapshot NOW: other reconfigurations may have rebound
+             the module's interfaces while it was travelling to its
+             reconfiguration point, and the batch must edit the
+             *current* configuration (the paper: obj_cap "corresponds
+             to the current configuration, which could have been
+             changed dynamically"). *)
+          match P.obj_cap bus ~instance with
+          | Error e -> fail e
+          | Ok cap ->
+            let same_arch =
+              match Bus.find_host bus cap.cap_host, Bus.find_host bus host with
+              | Some s, Some d -> Codec.Native.same_layout s.Bus.arch d.Bus.arch
+              | _ -> false
+            in
+            (* ship a delta only when every guard holds: a base exists,
+               the move is same-layout (translate would be identity),
+               the stack shape matched the base, the diff is structurally
+               sound, and re-applying it reproduces the capture digest.
+               Any failure leaves the full image authoritative. *)
+            let delta_info =
+              match !base_info, old_machine with
+              | Some (base, _), Some om when same_arch -> (
+                match Machine.delta_basis om with
+                | None -> Error "misaligned"
+                | Some (masks, heap_dirty) -> (
+                  match Image.diff ~base ~masks ~heap_dirty image with
+                  | None -> Error "misaligned"
+                  | Some d -> (
+                    match Image.apply_delta ~base d with
+                    | Some applied
+                      when
+                        Int64.equal (Image.digest applied) (Image.digest image)
+                      ->
+                      Ok (d, applied)
+                    | _ -> Error "misaligned")))
+              | Some _, _ when not same_arch -> Error "cross_arch"
+              | _ -> Error "disabled"
+            in
+            Journal.note_divulged
+              ?delta:(match delta_info with Ok (d, _) -> Some d | Error _ -> None)
+              j ~cap ~image;
+            (* end-to-end integrity: the digest taken at capture must
+               survive encode/translate/decode, and [deposit_state
+               ~expect] re-verifies it at the restore boundary *)
+            let d0 = Image.digest image in
+            let translated =
+              match delta_info with
+              | Ok (d, applied) ->
+                (* same layout both sides: the delta-applied image is
+                   digest-verified against the capture above, so no wire
+                   round trip is needed *)
+                record bus
+                  "replace %s: delta divulge: %d of %d slot(s), %d of %d \
+                   byte(s)"
+                  instance
+                  (List.length d.Image.d_slots)
+                  (List.fold_left
+                     (fun acc (r : Image.record) -> acc + List.length r.values)
+                     0 image.Image.records)
+                  (Image.delta_byte_size d) (Image.byte_size image);
+                Ok (applied, Image.delta_byte_size d)
+              | Error _ -> (
                 match
-                  Journal.spawn j ~instance:new_instance ~module_name ~host
-                    ?spec:cap.cap_spec ~status:"clone" ()
+                  P.translate_image bus ~for_instance:instance
+                    ~src_host:cap.cap_host ~dst_host:host image
                 with
-                | Error e -> fail e
-                | Ok () ->
-                  Journal.rebind j batch;
-                  (* hand the old name's reliable channels (sequence
-                     state and all) to the clone: a graceful replace
-                     keeps the epoch, so in-flight frames still count *)
-                  Journal.rename_transport j ~old_instance:instance
-                    ~new_instance ~fence:false;
-                  Bus.deposit_state bus ~instance:new_instance ~expect:d0
-                    image';
-                  (match old_machine with
-                  | Some om ->
-                    divulge_children bus sp ~t0 ~old_machine:om
-                      ~restored_instance:new_instance
-                      ~bytes_in:(Image.byte_size image)
-                      ~bytes_out:(Image.byte_size image')
-                  | None -> ());
-                  Journal.kill j ~instance ~module_name:cap.cap_module
-                    ~host:cap.cap_host ?spec:cap.cap_spec ~image ();
-                  Journal.commit j;
-                  record bus "replace %s -> %s complete" instance new_instance;
-                  conclude (Ok new_instance))));
-      Bus.signal_reconfig bus ~instance;
+                | Error e ->
+                  Error (Printf.sprintf "state translation failed: %s" e)
+                | Ok image' when not (Int64.equal (Image.digest image') d0) ->
+                  Bus.quarantine_image bus ~instance
+                    ~reason:"digest mismatch after translation"
+                    ~byte_size:(Image.byte_size image');
+                  Error "state image digest mismatch after translation"
+                | Ok image' -> Ok (image', Image.byte_size image'))
+            in
+            (match translated with
+            | Error e -> fail e
+            | Ok (image', bytes_out) -> (
+              let batch = rebind_batch cap ~new_instance in
+              (* The old module has complied. Start the new instance
+                 first so the batch's queue-copy commands have a live
+                 destination, then apply the rebinding commands all at
+                 once, deposit the state, and remove the old instance.
+                 All of this happens at one instant of virtual time —
+                 no quantum runs in between. *)
+              match
+                Journal.spawn j ~instance:new_instance ~module_name ~host
+                  ?spec:cap.cap_spec ~status:"clone" ()
+              with
+              | Error e -> fail e
+              | Ok () ->
+                Journal.rebind j batch;
+                (* hand the old name's reliable channels (sequence
+                   state and all) to the clone: a graceful replace
+                   keeps the epoch, so in-flight frames still count *)
+                Journal.rename_transport j ~old_instance:instance
+                  ~new_instance ~fence:false;
+                Bus.deposit_state bus ~instance:new_instance ~expect:d0 image';
+                (match old_machine with
+                | Some om ->
+                  let precopy_marker =
+                    Option.map
+                      (fun (base, wait) ->
+                        ( Image.byte_size base,
+                          List.length base.Image.records,
+                          wait ))
+                      !base_info
+                  in
+                  let delta_marker =
+                    if not precopy then None
+                    else
+                      Some
+                        (match delta_info with
+                        | Ok (d, _) ->
+                          ( "none",
+                            List.length d.Image.d_slots,
+                            Image.delta_byte_size d )
+                        | Error reason -> (reason, 0, 0))
+                  in
+                  divulge_children bus !sp ~t0:!t0 ~old_machine:om
+                    ~restored_instance:new_instance
+                    ~bytes_in:(Image.byte_size image) ~bytes_out
+                    ?precopy:precopy_marker ?delta:delta_marker
+                    ~retx_wait:retx_w ()
+                | None -> ());
+                Journal.kill j ~instance ~module_name:cap.cap_module
+                  ~host:cap.cap_host ?spec:cap.cap_spec ~image ();
+                Journal.commit j;
+                record bus "replace %s -> %s complete" instance new_instance;
+                conclude (Ok new_instance)))
+      in
+      let engage () =
+        t0 := Bus.now bus;
+        Journal.arm_divulge j ~instance divulge;
+        retx0 := Bus.transport_retx_wait bus ~instance;
+        Bus.signal_reconfig bus ~instance
+      in
+      (if not precopy then engage ()
+       else
+         match Bus.machine bus ~instance with
+         | None ->
+           (* nothing to snapshot live (externally backed process):
+              plain freeze path *)
+           engage ()
+         | Some m ->
+           record bus "replace %s: pre-copy armed at next point" instance;
+           Machine.set_point_hook m
+             (Some
+                (fun () ->
+                  if (not !settled) && not (Bus.controller_down bus) then
+                    (* the hook runs inside the target's own quantum; a
+                       controller crash armed on the journal record must
+                       kill the script, not the bystander machine *)
+                    try
+                      (match Machine.live_capture m with
+                      | Some base ->
+                        Journal.note_precopy_base j ~instance ~image:base;
+                        Machine.begin_dirty_tracking m;
+                        base_info := Some (base, Bus.now bus -. t_req);
+                        record bus
+                          "replace %s: pre-copy base captured: %d record(s), \
+                           %d byte(s)"
+                          instance
+                          (List.length base.Image.records)
+                          (Image.byte_size base)
+                      | None -> ());
+                      engage ()
+                    with Bus.Controller_crash -> ())));
       match deadline with
       | None -> ()
       | Some window ->
         (* the signal→divulge window of the paper's §4 placement hazard:
            a module that never reaches a reconfiguration point (or
            crashed on the way) triggers rollback instead of spinning the
-           event budget *)
+           event budget; under pre-copy it also bounds the wait for the
+           first point *)
         Dr_sim.Engine.schedule (Bus.engine bus) ~delay:window (fun () ->
             if (not !settled) && not (Bus.controller_down bus) then begin
               record bus "replace %s: deadline (%.1f) expired before divulge"
                 instance window;
+              disarm_hook ();
               Journal.rollback j ~reason:"deadline expired";
               conclude
                 (Error
@@ -258,8 +466,9 @@ let replace bus ?(span_kind = "replace") ~instance ~new_instance ?new_module
   in
   attempt 1 ~host_override:None
 
-let migrate bus ~instance ~new_instance ~new_host ~on_done () =
-  replace bus ~span_kind:"migrate" ~instance ~new_instance ~new_host ~on_done ()
+let migrate bus ?precopy ~instance ~new_instance ~new_host ~on_done () =
+  replace bus ~span_kind:"migrate" ?precopy ~instance ~new_instance ~new_host
+    ~on_done ()
 
 let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
   match P.obj_cap bus ~instance with
@@ -322,7 +531,7 @@ let replicate bus ~instance ~replica_instance ?replica_host ~on_done () =
               divulge_children bus sp ~t0 ~old_machine:om
                 ~restored_instance:instance
                 ~bytes_in:(Image.byte_size image)
-                ~bytes_out:(Image.byte_size image)
+                ~bytes_out:(Image.byte_size image) ()
             | None -> ());
             List.iter
               (fun (iface, values) ->

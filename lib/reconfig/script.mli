@@ -31,6 +31,7 @@ val no_retry : retry
 val replace :
   Dr_bus.Bus.t ->
   ?span_kind:string ->
+  ?precopy:bool ->
   instance:string ->
   new_instance:string ->
   ?new_module:string ->
@@ -62,10 +63,26 @@ val replace :
     When the bus carries a metrics registry ({!Dr_bus.Bus.set_metrics}),
     every attempt opens a span named [span_kind] ("replace" by default;
     {!migrate} passes "migrate") whose children decompose the disruption
-    window: signal, drain, capture, translate, restore. *)
+    window: signal, drain, capture, translate, restore.
+
+    [?precopy] (default [false]) defers the freeze signal: a one-shot
+    hook parks at the target's next reconfiguration point, snapshots
+    the still-running state there ({!Dr_interp.Machine.live_capture}),
+    arms the write barrier, and only then signals — so the module keeps
+    serving while the bulk of its state is already persisted, and the
+    post-freeze capture ships only the dirtied slots as a delta
+    ({!Dr_state.Image.diff}) when the move is same-architecture. Every
+    guard failure (cross-architecture layout, stack-shape divergence,
+    digest mismatch) silently falls back to the full image, and with
+    [precopy:false] the script is operation-for-operation the one
+    above. Pre-copy spans start at signal time (the wait for the first
+    point is service, not disruption) and add zero-width [precopy] and
+    [delta] children recording base size, wait, shipped slots, and the
+    fallback reason ([none]/[cross_arch]/[misaligned]/[disabled]). *)
 
 val migrate :
   Dr_bus.Bus.t ->
+  ?precopy:bool ->
   instance:string ->
   new_instance:string ->
   new_host:string ->

@@ -179,7 +179,7 @@ let decode_body layout r : Image.t =
   in
   if Bin_util.remaining r <> 0 then
     malformed "%d trailing bytes" (Bin_util.remaining r);
-  { Image.source_module; records; heap }
+  Image.make ~source_module ~records ~heap
 
 let starts_with data prefix =
   Bytes.length data >= String.length prefix
@@ -251,4 +251,117 @@ module Native = struct
     match decode src data with
     | Error _ as e -> e
     | Ok image -> encode dst image
+
+  let same_layout a b =
+    let la = layout_of_arch a and lb = layout_of_arch b in
+    la.big = lb.big && la.word_bits = lb.word_bits
+
+  (* Zero-copy fast path for same-architecture moves: when the two
+     layouts agree byte-for-byte the encoded container needs no
+     translation, so the bytes ship as-is — no decode to an abstract
+     value tree, no re-encode. Corruption is still caught: the receiver
+     decodes (CRC check included) before restoring. *)
+  let recode ~src ~dst data =
+    if same_layout src dst then Ok data else translate ~src ~dst data
 end
+
+(* ------------------------------------------------- delta containers *)
+
+(* "DRIMGD1": the delta-image container. Always the abstract layout (a
+   delta crosses the bus like a full abstract image would), wrapped in
+   the same CRC-32 trailer as "DRIMG2". The referenced base is
+   identified by digest; the decoder only parses — resolving the base
+   is the caller's job (restore path, recovery replay). *)
+let delta_magic = "DRIMGD1"
+let delta_version = 1
+
+let encode_delta (d : Image.delta) =
+  let layout = abstract_layout in
+  let payload =
+    Bin_util.with_buffer @@ fun buf ->
+    Bin_util.write_bytes buf delta_magic;
+    Bin_util.write_u8 buf delta_version;
+    write_string layout buf d.Image.d_source_module;
+    Bin_util.write_i64 buf ~big:layout.big d.Image.d_base_digest;
+    write_int layout buf d.Image.d_record_count;
+    write_int layout buf (List.length d.Image.d_slots);
+    List.iter
+      (fun (ri, vi, v) ->
+        write_int layout buf ri;
+        write_int layout buf vi;
+        write_value layout buf v)
+      d.Image.d_slots;
+    write_int layout buf (List.length d.Image.d_heap_new);
+    List.iter
+      (fun (id, (block : Image.heap_block)) ->
+        write_int layout buf id;
+        write_ty buf block.elem_ty;
+        write_int layout buf (Array.length block.cells);
+        Array.iter (write_value layout buf) block.cells)
+      d.Image.d_heap_new;
+    write_int layout buf (List.length d.Image.d_heap_keep);
+    List.iter (write_int layout buf) d.Image.d_heap_keep;
+    Buffer.to_bytes buf
+  in
+  let n = Bytes.length payload in
+  let out = Bytes.create (n + 4) in
+  Bytes.blit payload 0 out 0 n;
+  Bytes.set_int32_be out n (Bin_util.crc32 payload);
+  out
+
+let decode_delta_exn data : Image.delta =
+  let layout = abstract_layout in
+  let ml = String.length delta_magic in
+  if not (starts_with data delta_magic) then
+    malformed "bad delta magic %S"
+      (Bytes.sub_string data 0 (min ml (Bytes.length data)));
+  let len = Bytes.length data in
+  if len < ml + 1 + 4 then malformed "truncated delta container";
+  let payload = Bytes.sub data 0 (len - 4) in
+  let stored = Bytes.get_int32_be data (len - 4) in
+  let computed = Bin_util.crc32 payload in
+  if not (Int32.equal stored computed) then
+    malformed "delta checksum mismatch (stored %08lx, computed %08lx)" stored
+      computed;
+  let r = Bin_util.reader payload in
+  ignore (Bin_util.read_bytes r ml);
+  let version = Bin_util.read_u8 r in
+  if version <> delta_version then
+    malformed "unsupported delta version %d" version;
+  let d_source_module = read_string layout r in
+  let d_base_digest = Bin_util.read_i64 r ~big:layout.big in
+  let d_record_count = read_int layout r in
+  if d_record_count < 0 || d_record_count > 1_000_000 then
+    malformed "bad delta record count %d" d_record_count;
+  let n_slots = read_int layout r in
+  if n_slots < 0 || n_slots > 1_000_000 then
+    malformed "bad delta slot count %d" n_slots;
+  let d_slots =
+    List.init n_slots (fun _ ->
+        let ri = read_int layout r in
+        let vi = read_int layout r in
+        let v = read_value layout r in
+        (ri, vi, v))
+  in
+  let n_new = read_int layout r in
+  if n_new < 0 || n_new > 1_000_000 then
+    malformed "bad delta heap block count %d" n_new;
+  let d_heap_new =
+    List.init n_new (fun _ ->
+        let id = read_int layout r in
+        let elem_ty = read_ty r in
+        let n = read_int layout r in
+        if n < 0 || n > 10_000_000 then malformed "bad block length %d" n;
+        let cells = Array.init n (fun _ -> read_value layout r) in
+        (id, { Image.elem_ty; cells }))
+  in
+  let n_keep = read_int layout r in
+  if n_keep < 0 || n_keep > 1_000_000 then
+    malformed "bad delta keep count %d" n_keep;
+  let d_heap_keep = List.init n_keep (fun _ -> read_int layout r) in
+  if Bin_util.remaining r <> 0 then
+    malformed "%d trailing bytes in delta" (Bin_util.remaining r);
+  { Image.d_source_module; d_base_digest; d_record_count; d_slots;
+    d_heap_new; d_heap_keep }
+
+let decode_delta data = guarded (fun () -> decode_delta_exn data)

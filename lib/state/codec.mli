@@ -61,4 +61,25 @@ module Native : sig
 
   val translate : src:Arch.t -> dst:Arch.t -> bytes -> (bytes, string) result
   (** native(src) bytes → native(dst) bytes, through the abstract image. *)
+
+  val same_layout : Arch.t -> Arch.t -> bool
+  (** Whether the two architectures share byte order and word width —
+      i.e. their native containers are byte-identical. *)
+
+  val recode : src:Arch.t -> dst:Arch.t -> bytes -> (bytes, string) result
+  (** Zero-copy {!translate}: when {!same_layout} holds the input bytes
+      are returned unchanged (no decode, no re-encode); otherwise falls
+      back to the authoritative translate path. The receiver's decode
+      still verifies the CRC, so corruption cannot ride the fast path. *)
 end
+
+(** {1 Delta containers}
+
+    "DRIMGD1": an {!Image.delta} in the abstract layout (magic, version
+    byte, body, CRC-32 trailer — same integrity envelope as "DRIMG2").
+    The base image is referenced by digest; resolving it is the
+    caller's job. *)
+
+val encode_delta : Image.delta -> bytes
+
+val decode_delta : bytes -> (Image.delta, string) result

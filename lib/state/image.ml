@@ -6,16 +6,25 @@ type t = {
   source_module : string;
   records : record list;
   heap : (int * heap_block) list;
+  mutable digest_memo : int64 option;
 }
 
-let empty ~source_module = { source_module; records = []; heap = [] }
+let make ~source_module ~records ~heap =
+  { source_module; records; heap; digest_memo = None }
 
-let push_record t record = { t with records = t.records @ [ record ] }
+let empty ~source_module =
+  { source_module; records = []; heap = []; digest_memo = None }
+
+(* [{ t with ... }] would copy a stale memo along with the fields; every
+   structural update must reset it. *)
+let push_record t record =
+  { t with records = t.records @ [ record ]; digest_memo = None }
 
 let pop_record t =
   match List.rev t.records with
   | [] -> None
-  | last :: rev_rest -> Some (last, { t with records = List.rev rev_rest })
+  | last :: rev_rest ->
+    Some (last, { t with records = List.rev rev_rest; digest_memo = None })
 
 let depth t = List.length t.records
 
@@ -62,7 +71,7 @@ let pp ppf t =
    it feeds is the image that was captured ([Bus.deposit_state
    ?expect]). This is an end-to-end check above the container's CRC-32:
    it survives encode/translate/decode across architectures. *)
-let digest t =
+let compute_digest t =
   let h = ref 0xcbf29ce484222325L in
   let mix v = h := Int64.mul (Int64.logxor !h v) 0x100000001b3L in
   let mix_int i = mix (Int64.of_int i) in
@@ -122,6 +131,18 @@ let digest t =
     t.heap;
   !h
 
+(* Memoised: the deposit path re-checks the digest of an image whose
+   digest was already computed at capture/translate time; records and
+   heap are never mutated after construction (feed/clone copy cells), so
+   caching in the handle is sound. *)
+let digest t =
+  match t.digest_memo with
+  | Some d -> d
+  | None ->
+    let d = compute_digest t in
+    t.digest_memo <- Some d;
+    d
+
 let value_size = function
   | Value.Vint _ | Value.Vfloat _ | Value.Vbool _ -> 8
   | Value.Vstr s -> 8 + String.length s
@@ -160,3 +181,118 @@ let gather_blocks ~lookup roots =
   in
   List.iter visit_value roots;
   List.sort (fun (a, _) (b, _) -> compare a b) !acc
+
+(* ------------------------------------------------------------- deltas *)
+
+(* A delta image: the dirtied subset of a capture relative to a base
+   snapshot taken by the pre-copy phase. Slots are addressed by (record
+   index, value index) against the base's record layout; heap blocks are
+   either shipped whole ([d_heap_new]: dirtied since the base, or absent
+   from it) or pulled from the base by id ([d_heap_keep]). Soundness
+   rests on the machine's write barrier: a slot whose generation counter
+   did not advance past the base generation still holds its base value,
+   so clean slots need no value comparison — the qcheck differential
+   (delta-apply ≡ full capture) pins this. *)
+
+type delta = {
+  d_source_module : string;
+  d_base_digest : int64;
+  d_record_count : int;
+  d_slots : (int * int * Value.t) list;
+  d_heap_new : (int * heap_block) list;
+  d_heap_keep : int list;
+}
+
+let diff ~base ~masks ~heap_dirty (final : t) =
+  let structural_ok =
+    String.equal base.source_module final.source_module
+    && List.length base.records = List.length final.records
+    && List.length masks = List.length final.records
+    && List.for_all2
+         (fun (b : record) (f : record) ->
+           b.location = f.location
+           && List.length b.values = List.length f.values)
+         base.records final.records
+    && List.for_all2
+         (fun mask (f : record) -> Array.length mask = List.length f.values)
+         masks final.records
+  in
+  if not structural_ok then None
+  else begin
+    let slots = ref [] in
+    List.iteri
+      (fun ri (mask, (f : record)) ->
+        List.iteri
+          (fun vi v -> if mask.(vi) then slots := (ri, vi, v) :: !slots)
+          f.values)
+      (List.combine masks final.records);
+    let heap_new = ref [] and heap_keep = ref [] in
+    List.iter
+      (fun (id, block) ->
+        if heap_dirty id || not (List.mem_assoc id base.heap) then
+          heap_new := (id, block) :: !heap_new
+        else heap_keep := id :: !heap_keep)
+      final.heap;
+    Some
+      { d_source_module = final.source_module;
+        d_base_digest = digest base;
+        d_record_count = List.length final.records;
+        d_slots = List.rev !slots;
+        d_heap_new = List.rev !heap_new;
+        d_heap_keep = List.rev !heap_keep }
+  end
+
+let apply_delta ~base (d : delta) =
+  if
+    (not (Int64.equal (digest base) d.d_base_digest))
+    || (not (String.equal base.source_module d.d_source_module))
+    || List.length base.records <> d.d_record_count
+  then None
+  else begin
+    let records = Array.of_list base.records in
+    let ok = ref true in
+    let patched = Array.map (fun (r : record) -> Array.of_list r.values) records in
+    List.iter
+      (fun (ri, vi, v) ->
+        if ri < 0 || ri >= Array.length patched then ok := false
+        else
+          let values = patched.(ri) in
+          if vi < 0 || vi >= Array.length values then ok := false
+          else values.(vi) <- v)
+      d.d_slots;
+    let keep =
+      List.filter_map
+        (fun id ->
+          match List.assoc_opt id base.heap with
+          | Some block -> Some (id, block)
+          | None ->
+            ok := false;
+            None)
+        d.d_heap_keep
+    in
+    if not !ok then None
+    else begin
+      let records =
+        List.mapi
+          (fun ri (r : record) ->
+            { r with values = Array.to_list patched.(ri) })
+          (Array.to_list records)
+      in
+      let heap =
+        List.sort
+          (fun (a, _) (b, _) -> compare a b)
+          (d.d_heap_new @ keep)
+      in
+      Some (make ~source_module:d.d_source_module ~records ~heap)
+    end
+  end
+
+let delta_byte_size (d : delta) =
+  let slot_size (_, _, v) = 8 + value_size v in
+  let block_size (_, b) =
+    16 + Array.fold_left (fun acc v -> acc + value_size v) 0 b.cells
+  in
+  8 (* base digest *)
+  + List.fold_left (fun acc s -> acc + slot_size s) 0 d.d_slots
+  + List.fold_left (fun acc b -> acc + block_size b) 0 d.d_heap_new
+  + (8 * List.length d.d_heap_keep)

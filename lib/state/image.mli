@@ -18,7 +18,17 @@ type t = {
   source_module : string;   (** module the state was captured from *)
   records : record list;    (** capture order *)
   heap : (int * heap_block) list;  (** captured blocks, symbolic ids *)
+  mutable digest_memo : int64 option;
+      (** cached {!digest}; construct through {!make}/{!empty} and never
+          update [records]/[heap] through [{ t with ... }] without
+          resetting it *)
 }
+
+val make :
+  source_module:string ->
+  records:record list ->
+  heap:(int * heap_block) list ->
+  t
 
 val empty : source_module:string -> t
 
@@ -36,7 +46,10 @@ val digest : t -> int64
 (** Structural 64-bit digest (FNV-1a mixing) over everything {!equal}
     compares. [equal a b] implies [digest a = digest b]; the scripts
     use it to verify a restored image end-to-end across
-    encode/translate/decode ({!Dr_bus.Bus.deposit_state} [?expect]). *)
+    encode/translate/decode ({!Dr_bus.Bus.deposit_state} [?expect]).
+    Memoised in the handle: the first call hashes the payload, repeats
+    are free (the deposit path re-checks the digest computed at
+    capture time). *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -54,3 +67,42 @@ val gather_blocks :
     [lookup] resolves a live block id; unknown ids are ignored (dangling
     pointers are the programmer's responsibility, as in the paper).
     Result is sorted by block id; shared blocks appear once. *)
+
+(** {1 Delta images (pre-copy)}
+
+    A delta is the dirtied subset of a capture relative to a base
+    snapshot taken while the module was still serving (live pre-copy).
+    Slots are addressed by (record index, value index) against the
+    base's record layout; heap blocks are shipped whole when dirtied or
+    new ([d_heap_new]) and pulled from the base by id otherwise
+    ([d_heap_keep]). *)
+
+type delta = {
+  d_source_module : string;
+  d_base_digest : int64;   (** digest of the base this delta applies to *)
+  d_record_count : int;
+  d_slots : (int * int * Value.t) list;
+  d_heap_new : (int * heap_block) list;
+  d_heap_keep : int list;
+}
+
+val diff :
+  base:t ->
+  masks:bool array list ->
+  heap_dirty:(int -> bool) ->
+  t ->
+  delta option
+(** [diff ~base ~masks ~heap_dirty final] builds the delta such that
+    [apply_delta ~base] reproduces [final]. [masks] holds one dirty mask
+    per record, in record order, from the machine's write barrier: a
+    clean slot is {e guaranteed} to hold its base value, so only dirty
+    slots are shipped and no value comparison is made. [None] on any
+    structural mismatch (record count, locations, value counts) — the
+    caller falls back to the full image. *)
+
+val apply_delta : base:t -> delta -> t option
+(** Reconstruct the full image. [None] if [base]'s digest does not match
+    [d_base_digest] or the delta is structurally incompatible. *)
+
+val delta_byte_size : delta -> int
+(** Abstract wire size of the delta, comparable with {!byte_size}. *)

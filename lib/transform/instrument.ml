@@ -27,6 +27,7 @@ let handler_proc_name = "mh_catchreconfig"
 let flag_globals = [ flag_reconfig; flag_capturestack; flag_restoring; flag_location ]
 
 let generated_label i = Printf.sprintf "_L%d" i
+let point_label j = Printf.sprintf "_P%d" j
 
 let ( let* ) = Result.bind
 
@@ -43,6 +44,7 @@ let check_reserved (program : Ast.program) =
     List.mem name flag_globals
     || String.equal name handler_proc_name
     || starts_with "_L" name
+    || starts_with "_P" name
   in
   let bad = ref None in
   let note kind name = if !bad = None && reserved name then bad := Some (kind, name) in
@@ -367,7 +369,14 @@ let rewrite_proc ~options (program : Ast.program) (graph : Rg.t) capture_vars
       match s.label with
       | Some label -> (
         match point_edge_by_label label with
-        | Some j -> [ point_capture_block ~in_main proc j capture_vars ]
+        (* The _Pj label marks this block as a reconfiguration-point
+           gate: the resolver wraps the gate's conditional jump so the
+           runtime can park observation hooks (live pre-copy capture)
+           exactly at point granularity. Labels are lowering metadata —
+           the emitted instruction stream is unchanged. *)
+        | Some j ->
+          [ { (point_capture_block ~in_main proc j capture_vars) with
+              label = Some (point_label j) } ]
         | None -> [])
       | None -> []
     in

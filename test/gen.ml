@@ -278,7 +278,7 @@ let image_with value_gen =
   G.map2
     (fun records blocks ->
       let heap = List.mapi (fun i b -> (i, b)) blocks in
-      { Dr_state.Image.source_module = "generated"; records; heap })
+      Dr_state.Image.make ~source_module:"generated" ~records ~heap)
     (G.list_size (G.int_bound 5) (record value_gen))
     (G.list_size (G.int_bound 3) (heap_block value_gen))
 

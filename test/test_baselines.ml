@@ -393,9 +393,9 @@ let test_recompile_rejects_garbage_image () =
     Support.prepare monitor_compute [ Support.point "compute" "R" ]
   in
   let bogus =
-    { Dr_state.Image.source_module = "compute";
-      records = [ { Dr_state.Image.location = 99; values = [] } ];
-      heap = [] }
+    Dr_state.Image.make ~source_module:"compute"
+      ~records:[ { Dr_state.Image.location = 99; values = [] } ]
+      ~heap:[]
   in
   match Dr_baselines.Recompile.synthesize ~prepared ~image:bogus with
   | Error e ->

@@ -4,14 +4,14 @@ module Arch = Dr_state.Arch
 module Value = Dr_state.Value
 
 let sample_image =
-  { Image.source_module = "compute";
-    records =
+  Image.make ~source_module:"compute"
+    ~records:
       [ { Image.location = 4; values = [ Value.Vint 4; Vint 3; Vfloat 0.75; Vint 0 ] };
         { Image.location = 3; values = [ Value.Vint 4; Vint 4; Vfloat 0.75; Vint 0 ] };
-        { Image.location = 1; values = [ Value.Vint 4; Vfloat 0.75 ] } ];
-    heap =
+        { Image.location = 1; values = [ Value.Vint 4; Vfloat 0.75 ] } ]
+    ~heap:
       [ (0, { Image.elem_ty = Tint; cells = [| Value.Vint 1; Vint 2 |] });
-        (3, { Image.elem_ty = Tarr Tint; cells = [| Value.Varr 0; Vnull |] }) ] }
+        (3, { Image.elem_ty = Tarr Tint; cells = [| Value.Varr 0; Vnull |] }) ]
 
 let test_abstract_roundtrip () =
   let bytes = Codec.encode_abstract sample_image in
@@ -65,9 +65,9 @@ let test_translate_across_archs () =
 
 let test_word_overflow_detected () =
   let big =
-    { Image.source_module = "t";
-      records = [ { Image.location = 1; values = [ Value.Vint 0x7FFFFFFFFF ] } ];
-      heap = [] }
+    Image.make ~source_module:"t"
+      ~records:[ { Image.location = 1; values = [ Value.Vint 0x7FFFFFFFFF ] } ]
+      ~heap:[]
   in
   (match Codec.Native.encode Arch.sparc32 big with
   | Error e ->
@@ -202,6 +202,68 @@ let test_byte_size_monotone () =
   Alcotest.(check bool) "adding a record grows the image" true
     (Image.byte_size bigger > Image.byte_size small)
 
+(* ------------------------------------------- delta container (DRIMGD1) *)
+
+let sample_delta =
+  { Image.d_source_module = "compute";
+    d_base_digest = Image.digest sample_image;
+    d_record_count = 3;
+    d_slots =
+      [ (0, 1, Value.Vint 9); (1, 0, Value.Vstr "fresh"); (2, 1, Value.Vfloat 1.5) ];
+    d_heap_new =
+      [ (5, { Image.elem_ty = Dr_lang.Ast.Tint; cells = [| Value.Vint 7 |] }) ];
+    d_heap_keep = [ 0; 3 ] }
+
+let delta_equal (a : Image.delta) (b : Image.delta) =
+  String.equal a.d_source_module b.d_source_module
+  && Int64.equal a.d_base_digest b.d_base_digest
+  && a.d_record_count = b.d_record_count
+  && List.equal
+       (fun (i1, j1, v1) (i2, j2, v2) -> i1 = i2 && j1 = j2 && Value.equal v1 v2)
+       a.d_slots b.d_slots
+  && List.equal
+       (fun (i1, (b1 : Image.heap_block)) (i2, (b2 : Image.heap_block)) ->
+         i1 = i2 && b1.elem_ty = b2.elem_ty
+         && Array.to_list b1.cells = Array.to_list b2.cells)
+       a.d_heap_new b.d_heap_new
+  && List.equal Int.equal a.d_heap_keep b.d_heap_keep
+
+let test_delta_roundtrip () =
+  let bytes = Codec.encode_delta sample_delta in
+  match Codec.decode_delta bytes with
+  | Ok decoded ->
+    Alcotest.(check bool) "delta round-trips" true (delta_equal sample_delta decoded)
+  | Error e -> Alcotest.failf "delta decode: %s" e
+
+let test_delta_deterministic () =
+  Alcotest.(check bool) "byte-identical re-encode" true
+    (Bytes.equal (Codec.encode_delta sample_delta) (Codec.encode_delta sample_delta))
+
+let test_delta_corruption_detected () =
+  (* every single-byte flip anywhere in the container must fail decode
+     loudly — magic/version damage as a format error, anything else via
+     the CRC trailer; none may mis-parse into a different delta *)
+  let valid = Codec.encode_delta sample_delta in
+  for i = 0 to Bytes.length valid - 1 do
+    let corrupted = Bytes.copy valid in
+    Bytes.set corrupted i (Char.chr (Char.code (Bytes.get corrupted i) lxor 0x41));
+    match Codec.decode_delta corrupted with
+    | Error _ -> ()
+    | Ok decoded ->
+      if not (delta_equal sample_delta decoded) then
+        Alcotest.failf "flip at byte %d decoded into a different delta" i
+      else Alcotest.failf "flip at byte %d went undetected" i
+  done
+
+let test_delta_truncation_detected () =
+  (* a torn write at any prefix length must fail decode, never parse *)
+  let valid = Codec.encode_delta sample_delta in
+  for len = 0 to Bytes.length valid - 1 do
+    match Codec.decode_delta (Bytes.sub valid 0 len) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation to %d bytes decoded" len
+  done
+
 let prop_abstract_roundtrip =
   Support.qcheck ~count:300 "abstract codec round-trips" Gen.image (fun img ->
       match Codec.decode_abstract (Codec.encode_abstract img) with
@@ -240,6 +302,12 @@ let () =
           Alcotest.test_case "translate across archs" `Quick
             test_translate_across_archs;
           Alcotest.test_case "word overflow" `Quick test_word_overflow_detected ] );
+      ( "delta",
+        [ Alcotest.test_case "roundtrip" `Quick test_delta_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_delta_deterministic;
+          Alcotest.test_case "bit-flip fuzz" `Quick test_delta_corruption_detected;
+          Alcotest.test_case "truncation fuzz" `Quick
+            test_delta_truncation_detected ] );
       ( "image",
         [ Alcotest.test_case "push/pop LIFO" `Quick test_image_push_pop;
           Alcotest.test_case "gather blocks" `Quick

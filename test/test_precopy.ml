@@ -1,0 +1,204 @@
+(* Live pre-copy end to end (lib/reconfig/script.ml) and the delta-image
+   algebra it rests on (lib/state/image.ml).
+
+   End-to-end: a pre-copy migrate must capture a live base at the
+   target's next reconfiguration point, keep the module serving until
+   the freeze, and divulge a delta when (and only when) the move is
+   same-layout — cross-architecture moves fall back to the full image
+   with the reason on the zero-width [delta] marker. The disruption
+   window opens at the freeze, so the signal/drain children are
+   zero-width and the phase identity still tiles the root span.
+
+   Property: for any generated image and any dirty pattern,
+   [apply_delta ~base (diff ~base ~masks ~heap_dirty final)]
+   reconstructs [final] exactly, and ships exactly the dirty slots. *)
+
+module Bus = Dr_bus.Bus
+module Script = Dr_reconfig.Script
+module Metrics = Dr_obs.Metrics
+module Image = Dr_state.Image
+module Value = Dr_state.Value
+module Synthetic = Dr_workloads.Synthetic
+module I = Dr_transform.Instrument
+module G = QCheck2.Gen
+
+let hosts =
+  [ { Bus.host_name = "hostA"; arch = Dr_state.Arch.x86_64 };
+    { Bus.host_name = "hostB"; arch = Dr_state.Arch.sparc32 };
+    { Bus.host_name = "hostD"; arch = Dr_state.Arch.x86_64 } ]
+
+let attr span name = List.assoc_opt name (Metrics.span_attrs span)
+
+let child root kind =
+  List.find_opt
+    (fun s -> String.equal (Metrics.span_kind s) kind)
+    (Metrics.span_children root)
+
+let dur span = Option.value ~default:0.0 (Metrics.span_duration span)
+
+(* spawn the instrumented deeprec_payload worker on hostA, let it dive,
+   migrate it with or without pre-copy, and return the migrate span *)
+let run_migrate ~dst ~precopy =
+  let registry = Metrics.create () in
+  let bus = Bus.create ~hosts () in
+  Bus.set_metrics bus registry;
+  let prepared =
+    match
+      I.prepare
+        (Synthetic.deeprec_payload ~depth:6 ~payload:4)
+        ~points:Synthetic.deeprec_points
+    with
+    | Ok p -> p.I.prepared_program
+    | Error e -> Alcotest.failf "instrument: %s" e
+  in
+  (match Bus.register_program bus prepared with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "register: %s" e);
+  (match Bus.spawn bus ~instance:"w" ~module_name:"deeppay" ~host:"hostA" () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "spawn: %s" e);
+  Bus.run ~until:5.0 bus;
+  (match
+     Script.run_sync bus (fun ~on_done ->
+         Script.migrate bus ~precopy ~instance:"w" ~new_instance:"w2"
+           ~new_host:dst ~on_done ())
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "migrate: %s" e);
+  Bus.run ~until:(Bus.now bus +. 10.0) bus;
+  Alcotest.(check bool) "clone is live" true
+    (Option.is_some (Bus.machine bus ~instance:"w2"));
+  match
+    List.filter
+      (fun s -> String.equal (Metrics.span_kind s) "migrate")
+      (Metrics.roots registry)
+  with
+  | [ root ] -> root
+  | roots -> Alcotest.failf "expected one migrate span, got %d" (List.length roots)
+
+let test_same_arch_ships_delta () =
+  let root = run_migrate ~dst:"hostD" ~precopy:true in
+  Alcotest.(check (option string)) "span marked precopy" (Some "on")
+    (attr root "precopy");
+  (match child root "precopy" with
+  | None -> Alcotest.fail "no precopy marker"
+  | Some pc ->
+    let records = int_of_string (Option.get (attr pc "base_records")) in
+    Alcotest.(check bool) "base captured whole stack" true (records > 6);
+    Alcotest.(check bool) "module served before the freeze" true
+      (float_of_string (Option.get (attr pc "wait")) > 0.0));
+  (match child root "delta" with
+  | None -> Alcotest.fail "no delta marker"
+  | Some dc ->
+    Alcotest.(check (option string)) "no fallback" (Some "none")
+      (attr dc "fallback");
+    Alcotest.(check bool) "dirty slots shipped" true
+      (int_of_string (Option.get (attr dc "delta_slots")) > 0));
+  (* freeze-origin accounting: signal and drain collapse to zero width
+     and the phase identity still tiles the window *)
+  let phase k = match child root k with Some s -> dur s | None -> 0.0 in
+  Alcotest.(check (float 1e-9)) "signal zero-width" 0.0 (phase "signal");
+  Alcotest.(check (float 1e-9)) "drain zero-width" 0.0 (phase "drain");
+  let sum =
+    phase "signal" +. phase "drain" +. phase "capture" +. phase "translate"
+    +. phase "restore"
+  in
+  Alcotest.(check (float 1e-9)) "phases tile the window" (dur root) sum
+
+let test_cross_arch_falls_back () =
+  let root = run_migrate ~dst:"hostB" ~precopy:true in
+  match child root "delta" with
+  | None -> Alcotest.fail "no delta marker"
+  | Some dc ->
+    Alcotest.(check (option string)) "cross-arch fallback" (Some "cross_arch")
+      (attr dc "fallback");
+    Alcotest.(check (option string)) "nothing shipped as delta" (Some "0")
+      (attr dc "delta_slots")
+
+let test_off_mode_has_no_markers () =
+  let root = run_migrate ~dst:"hostD" ~precopy:false in
+  Alcotest.(check (option string)) "no precopy attr" None (attr root "precopy");
+  Alcotest.(check bool) "no precopy marker" true (child root "precopy" = None);
+  Alcotest.(check bool) "no delta marker" true (child root "delta" = None);
+  Alcotest.(check bool) "signal phase present" true
+    (Option.is_some (child root "signal"))
+
+(* ------------------------------------------------- delta differential *)
+
+let dirty seed i j = (seed + (31 * i) + (7 * j)) mod 3 = 0
+
+(* replace the dirty slots of [base] with fresh values; clean slots are
+   untouched, exactly the write-barrier guarantee [diff] relies on *)
+let mutate seed (base : Image.t) =
+  let records =
+    List.mapi
+      (fun i (r : Image.record) ->
+        { r with
+          Image.values =
+            List.mapi
+              (fun j v ->
+                if dirty seed i j then Value.Vint (seed + (100 * i) + j) else v)
+              r.values })
+      base.Image.records
+  in
+  Image.make ~source_module:base.Image.source_module ~records
+    ~heap:base.Image.heap
+
+let qcheck_delta_roundtrip =
+  Support.qcheck ~count:300 "apply_delta . diff reconstructs the capture"
+    (G.pair Gen.image (G.int_bound 1000))
+    (fun (base, seed) ->
+      let final = mutate seed base in
+      let masks =
+        List.mapi
+          (fun i (r : Image.record) ->
+            Array.init (List.length r.Image.values) (fun j -> dirty seed i j))
+          base.Image.records
+      in
+      let dirty_count =
+        List.fold_left
+          (fun acc m -> Array.fold_left (fun a b -> if b then a + 1 else a) acc m)
+          0 masks
+      in
+      match Image.diff ~base ~masks ~heap_dirty:(fun _ -> false) final with
+      | None -> QCheck2.Test.fail_report "diff refused a well-formed pair"
+      | Some d -> (
+        if List.length d.Image.d_slots <> dirty_count then
+          QCheck2.Test.fail_reportf "shipped %d slots for %d dirty"
+            (List.length d.Image.d_slots)
+            dirty_count
+        else
+          match Image.apply_delta ~base d with
+          | None -> QCheck2.Test.fail_report "apply_delta refused its own diff"
+          | Some rebuilt -> Image.equal rebuilt final))
+
+let qcheck_delta_wrong_base =
+  Support.qcheck ~count:100 "apply_delta refuses a foreign base"
+    (G.pair Gen.image (G.int_bound 1000))
+    (fun (base, seed) ->
+      let final = mutate seed base in
+      let masks =
+        List.mapi
+          (fun i (r : Image.record) ->
+            Array.init (List.length r.Image.values) (fun j -> dirty seed i j))
+          base.Image.records
+      in
+      match Image.diff ~base ~masks ~heap_dirty:(fun _ -> false) final with
+      | None -> QCheck2.Test.fail_report "diff refused a well-formed pair"
+      | Some d ->
+        let foreign =
+          Image.push_record base
+            { Image.location = 99; values = [ Value.Vint 1 ] }
+        in
+        Image.apply_delta ~base:foreign d = None)
+
+let () =
+  Alcotest.run "precopy"
+    [ ( "end to end",
+        [ Alcotest.test_case "same-arch ships a delta" `Quick
+            test_same_arch_ships_delta;
+          Alcotest.test_case "cross-arch falls back" `Quick
+            test_cross_arch_falls_back;
+          Alcotest.test_case "off mode unchanged" `Quick
+            test_off_mode_has_no_markers ] );
+      ("delta", [ qcheck_delta_roundtrip; qcheck_delta_wrong_base ]) ]

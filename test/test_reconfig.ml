@@ -52,9 +52,10 @@ let test_rebind_batch_applies_atomically () =
 let test_translate_image_across_hosts () =
   let bus = monitor () in
   let image =
-    { Dr_state.Image.source_module = "compute";
-      records = [ { Dr_state.Image.location = 1; values = [ Dr_state.Value.Vint 7 ] } ];
-      heap = [] }
+    Dr_state.Image.make ~source_module:"compute"
+      ~records:
+        [ { Dr_state.Image.location = 1; values = [ Dr_state.Value.Vint 7 ] } ]
+      ~heap:[]
   in
   (match P.translate_image bus ~src_host:"hostA" ~dst_host:"hostB" image with
   | Ok translated -> Alcotest.check Support.image "identical" image translated
@@ -66,11 +67,11 @@ let test_translate_image_across_hosts () =
 let test_translate_overflow_fails () =
   let bus = monitor () in
   let image =
-    { Dr_state.Image.source_module = "compute";
-      records =
+    Dr_state.Image.make ~source_module:"compute"
+      ~records:
         [ { Dr_state.Image.location = 1;
-            values = [ Dr_state.Value.Vint 0x7FFF_FFFF_FF ] } ];
-      heap = [] }
+            values = [ Dr_state.Value.Vint 0x7FFF_FFFF_FF ] } ]
+      ~heap:[]
   in
   (* hostB is sparc32: the 40-bit integer cannot migrate there *)
   match P.translate_image bus ~src_host:"hostA" ~dst_host:"hostB" image with

@@ -391,10 +391,10 @@ let test_malformed_image_crashes_clone () =
   let sio_io = Dr_interp.Io_intf.null () in
   let clone = Dr_interp.Machine.create ~status_attr:"clone" ~io:sio_io program in
   let bogus =
-    { Dr_state.Image.source_module = "compute";
-      records =
-        [ { Dr_state.Image.location = 1; values = [ Dr_state.Value.Vint 7 ] } ];
-      heap = [] }
+    Dr_state.Image.make ~source_module:"compute"
+      ~records:
+        [ { Dr_state.Image.location = 1; values = [ Dr_state.Value.Vint 7 ] } ]
+      ~heap:[]
   in
   Dr_interp.Machine.feed_image clone bogus;
   Dr_interp.Machine.run ~max_steps:100_000 clone;

@@ -530,6 +530,84 @@ let test_crash_after_commit_keeps_replacement () =
     (List.mem "c2" (Bus.instances bus)
     && not (List.mem "c" (Bus.instances bus)))
 
+(* Pre-copy writes two extra entry kinds to the log: the live base
+   snapshot (Precopy_base) and the delta-form divulge (Divulged_delta,
+   resolved against the base by digest at scan time). An in-place
+   replace is same-layout, so the delta path is taken for real. *)
+let precopy_trial ?ctl_crash () =
+  let bus = Bus.create ~hosts:Dr_workloads.Monitor.hosts () in
+  let mem = Storage.memory () in
+  Bus.set_wal bus (ok (Wal.create (Storage.storage_of_mem mem)));
+  let prepared =
+    match
+      Dr_transform.Instrument.prepare
+        (Dr_workloads.Synthetic.deeprec_payload ~depth:4 ~payload:2)
+        ~points:Dr_workloads.Synthetic.deeprec_points
+    with
+    | Ok p -> p.Dr_transform.Instrument.prepared_program
+    | Error e -> Alcotest.failf "instrument: %s" e
+  in
+  ok (Bus.register_program bus prepared);
+  ok (Bus.spawn bus ~instance:"w" ~module_name:"deeppay" ~host:"hostA" ());
+  (match ctl_crash with
+  | Some n -> Faults.install bus ~seed:1 (Faults.plan ~ctl_crash:n ())
+  | None -> ());
+  Bus.run ~until:5.0 bus;
+  let before = snapshot bus in
+  let outcome =
+    Script.run_sync bus (fun ~on_done ->
+        Script.replace bus ~precopy:true ~instance:"w" ~new_instance:"w2"
+          ~on_done ())
+  in
+  (bus, mem, before, outcome)
+
+let test_precopy_delta_logged_and_recovered () =
+  let _, mem, _, outcome = precopy_trial () in
+  Alcotest.(check bool) "dry run commits" true (Result.is_ok outcome);
+  let records = Wal.records (ok (reopen mem)) in
+  let lsns_of p =
+    List.filter_map
+      (fun (lsn, kind, body) ->
+        match Persist.decode ~kind body with
+        | Ok e when p e -> Some lsn
+        | _ -> None)
+      records
+  in
+  let bases =
+    lsns_of (function
+      | Persist.Entry { entry = Persist.Precopy_base _; _ } -> true
+      | _ -> false)
+  in
+  let deltas =
+    lsns_of (function
+      | Persist.Entry { entry = Persist.Divulged_delta _; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check int) "one pre-copy base logged" 1 (List.length bases);
+  Alcotest.(check int) "one delta divulge logged" 1 (List.length deltas);
+  Alcotest.(check bool) "base precedes the delta" true
+    (List.hd bases < List.hd deltas);
+  (* crash on the base append and on the delta append: recovery must
+     resolve the delta against the logged base and roll the in-flight
+     script back to the pre-script world *)
+  List.iter
+    (fun n ->
+      let bus, mem, before, _ = precopy_trial ~ctl_crash:n () in
+      Alcotest.(check bool) "controller died" true (Bus.controller_down bus);
+      Storage.crash mem;
+      Bus.set_wal bus (ok (reopen mem));
+      (match Recovery.replay bus with
+      | Ok r ->
+        Alcotest.(check int)
+          (Printf.sprintf "crash@%d rolled one script back" n)
+          1 r.Recovery.rp_rolled_back
+      | Error e -> Alcotest.failf "recovery: %s" e);
+      Alcotest.(check bool)
+        (Printf.sprintf "crash@%d restored the snapshot" n)
+        true
+        (snapshot bus = before))
+    [ List.hd bases; List.hd deltas ]
+
 let test_replay_idempotent () =
   let bus, _, _, _, crashed = deadline_trial ~ctl_crash:3 () in
   Alcotest.(check bool) "crashed" true crashed;
@@ -621,6 +699,8 @@ let () =
             test_rollback_lines_carry_label_and_index;
           Alcotest.test_case "crash mid-script rolls back" `Quick
             test_crash_mid_script_rolls_back;
+          Alcotest.test_case "precopy base+delta logged and recovered" `Quick
+            test_precopy_delta_logged_and_recovered;
           Alcotest.test_case "crash after commit keeps replacement" `Quick
             test_crash_after_commit_keeps_replacement;
           Alcotest.test_case "replay is idempotent" `Quick
