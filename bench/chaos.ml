@@ -326,5 +326,7 @@ let all ?trials ?(quick = false) () =
           ("reliable_sweep", arr (List.rev_map json_of_sweep_row !sweep_rows))
         ])
   in
-  Json_out.write "BENCH_chaos.json" json;
+  Json_out.write
+    (if quick then "BENCH_chaos_quick.json" else "BENCH_chaos.json")
+    json;
   if !worst < 0.95 || !sweep_failures > 0 then exit 1

@@ -303,7 +303,9 @@ let all ?(quick = false) () =
                  (name, Json_out.float (fused.s_rate /. resolved.s_rate)))
                triples) ) ]
   in
-  Json_out.write "BENCH_interp.json" json;
+  Json_out.write
+    (if quick then "BENCH_interp_quick.json" else "BENCH_interp.json")
+    json;
   (* CI gates on the hot loop (the steady-state throughput metric; the
      capture/restore windows are too short to gate on reliably): the
      resolved engine must beat the AST engine and fusion must not lose

@@ -37,6 +37,7 @@
              dune exec bench/main.exe -- interp   (engine comparison)
              dune exec bench/main.exe -- disruption (window decomposition)
              dune exec bench/main.exe -- wal       (durable-log crash sweep)
+             dune exec bench/main.exe -- rolling  (rolling-replacement suite)
 
    Part 7 (WAL) crashes the controller at every control-log append
    index of a transactional replace (x scenarios x loss rates), replays
@@ -44,8 +45,17 @@
    measures append throughput per backend/sync batching and recovery
    time vs journal depth; emits BENCH_wal.json.
 
-   "scaling", "chaos", "interp", "disruption" and "wal" accept --quick
-   (fewer trials/seeds, CI smoke); all five emit machine-readable
+   Part 8 (Rolling) runs autonomous rolling-replacement waves over a
+   replica group under live open-loop traffic, sweeping group size x
+   request rate x fault plan (loss 0-20%, a mid-wave replica kill, a
+   deliberately-bad canary build, controller crashes mid-wave), and
+   gates on exactly-once-or-shed accounting, bad-canary detection and
+   post-crash recovery; emits BENCH_rolling.json.
+
+   "scaling", "chaos", "interp", "disruption", "wal" and "rolling"
+   accept --quick (fewer trials/seeds, CI smoke); quick runs write
+   their artifacts as BENCH_*_quick.json so a committed full artifact
+   is never clobbered by a smoke run. All suites emit machine-readable
    BENCH_*.json artifacts next to bench_output.txt. *)
 
 open Bechamel
@@ -301,4 +311,5 @@ let () =
   if what = "chaos" then Chaos.all ~quick ();
   if what = "interp" then Interp_bench.all ~quick ();
   if what = "disruption" then Disruption.all ~quick ();
-  if what = "wal" then Wal_bench.all ~quick ()
+  if what = "wal" then Wal_bench.all ~quick ();
+  if what = "rolling" then Rolling.all ~quick ()

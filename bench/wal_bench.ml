@@ -395,5 +395,5 @@ let all ?(quick = false) () =
           ("recovery_budget_seconds", float recovery_budget_s);
           ("recovery_budget_ok", bool budget_ok) ])
   in
-  Json_out.write "BENCH_wal.json" json;
+  Json_out.write (if quick then "BENCH_wal_quick.json" else "BENCH_wal.json") json;
   if !sweep_failures > 0 || not budget_ok then exit 1

@@ -7,6 +7,7 @@
      drc run --mil app.mil --src m=path --app a  deploy and simulate
      drc run ... --wal DIR                       ... with a durable control log
      drc recover DIR                             audit a control log
+     drc roll --replicas 3 --target rstorev2     rolling replacement demo
      drc exec module.mp                          run one module standalone *)
 
 open Cmdliner
@@ -70,6 +71,73 @@ let or_die = function
   | Error e ->
     prerr_endline ("error: " ^ e);
     exit 1
+
+(* Validated numeric converters for the retry flags: zero and negative
+   values are configuration mistakes, rejected at parse time with an
+   error that names the flag. *)
+
+let positive_int_conv ~flag =
+  Arg.conv
+    ( (fun s ->
+        match int_of_string_opt s with
+        | None ->
+          Error (`Msg (Printf.sprintf "%s: expected an integer, got %S" flag s))
+        | Some n when n <= 0 ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "%s: must be at least 1 (got %d) — it counts total \
+                   attempts, including the first"
+                  flag n))
+        | Some n -> Ok n),
+      Fmt.int )
+
+let positive_ms_conv ~flag =
+  Arg.conv
+    ( (fun s ->
+        match float_of_string_opt s with
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "%s: expected milliseconds, got %S" flag s))
+        | Some ms when ms <= 0.0 || not (Float.is_finite ms) ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "%s: must be a positive number of milliseconds (got %s)"
+                  flag s))
+        | Some ms -> Ok ms),
+      fun ppf ms -> Fmt.pf ppf "%g" ms )
+
+let retry_arg =
+  Arg.(
+    value
+    & opt (some (positive_int_conv ~flag:"--retry")) None
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "Attempt a failed operation up to N times in total (including \
+           the first try). Must be at least 1.")
+
+let backoff_arg =
+  Arg.(
+    value
+    & opt (some (positive_ms_conv ~flag:"--backoff")) None
+    & info [ "backoff" ] ~docv:"MS"
+        ~doc:
+          "Delay between attempts, in milliseconds (virtual time for \
+           simulated runs, wall clock for $(b,drc exec)). Must be \
+           positive. Default 1000.")
+
+(* --retry/--backoff into a Script retry policy; None when neither flag
+   was given so single-shot runs keep the classic fail-fast watch *)
+let retry_policy retry backoff =
+  match (retry, backoff) with
+  | None, None -> None
+  | _ ->
+    Some
+      { Dr_reconfig.Script.attempts = Option.value retry ~default:1;
+        backoff = Option.value backoff ~default:1000.0 /. 1000.0;
+        alt_hosts = [] }
 
 (* ------------------------------------------------------------ transform *)
 
@@ -344,8 +412,8 @@ let parse_hosts specs =
     specs
 
 let run_cmd =
-  let run mil srcs app until hosts shards migrate precopy faults reliable
-      trace timeline metrics wal =
+  let run mil srcs app until hosts shards migrate precopy retry backoff faults
+      reliable trace timeline metrics wal =
     let system = match load_system mil srcs with Ok s -> s | Error e -> or_die (Error e) in
     let hosts = parse_hosts hosts in
     let bus =
@@ -386,7 +454,8 @@ let run_cmd =
       | Some (inst, fresh, host, t) ->
         Dr_bus.Bus.run ~until:t bus;
         (match
-           Dynrecon.System.migrate bus ~precopy ~instance:inst
+           Dynrecon.System.migrate bus ~precopy
+             ?retry:(retry_policy retry backoff) ~instance:inst
              ~new_instance:fresh ~new_host:host
          with
         | Ok _ -> Printf.printf "migrated %s -> %s on %s\n" inst fresh host
@@ -427,8 +496,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Deploy an application and simulate it.")
     Term.(
       const run $ mil_arg $ srcs_arg $ app_arg $ until_arg $ hosts_arg
-      $ shards_arg $ migrate_arg $ precopy_arg $ faults_arg $ reliable_arg
-      $ trace_arg $ timeline_arg $ metrics_arg $ wal_arg)
+      $ shards_arg $ migrate_arg $ precopy_arg $ retry_arg $ backoff_arg
+      $ faults_arg $ reliable_arg $ trace_arg $ timeline_arg $ metrics_arg
+      $ wal_arg)
 
 let inspect_cmd =
   let run file =
@@ -546,10 +616,148 @@ let recover_cmd =
           mid-rollback).")
     Term.(const run $ dir $ verbose)
 
+(* ----------------------------------------------------------------- roll *)
+
+(* A self-contained rolling-replacement demo over the bundled replica
+   workload: the canary judgement needs live traffic recorded into the
+   Rolling metric contract, so the command deploys the kvstore replica
+   group and its load generator rather than an arbitrary --mil app. *)
+let roll_cmd =
+  let run replicas rate target retry backoff drain window precopy supervise
+      faults wal =
+    let module Kv = Dr_workloads.Kvstore in
+    let module Rolling = Dr_reconfig.Rolling in
+    let n = replicas in
+    let system = Kv.Replica.load ~n in
+    let bus =
+      match
+        Dynrecon.System.start system ~app:"rgroup" ~hosts:(Kv.Replica.hosts ~n)
+          ~default_host:"rh1" ()
+      with
+      | Ok bus -> bus
+      | Error e -> or_die (Error e)
+    in
+    Option.iter (attach_wal bus) wal;
+    (match faults with
+    | None -> ()
+    | Some spec -> (
+      match Dr_bus.Faults.parse_plan spec with
+      | Ok (seed, plan) -> Dr_bus.Faults.install bus ~seed plan
+      | Error e -> or_die (Error e)));
+    let group = Kv.Replica.group ~n in
+    let supervisor =
+      if supervise then
+        Some
+          (Dr_reconfig.Supervisor.start bus ~watch:(List.map snd group) ())
+      else None
+    in
+    let lg =
+      Kv.Loadgen.start bus
+        { Kv.Loadgen.default_conf with lc_rate = rate; lc_duration = 500.0 }
+        ~slots:group
+    in
+    Dr_bus.Bus.run ~until:10.0 bus;
+    let cfg =
+      { (Rolling.default_config ~target) with
+        rc_drain_timeout = drain;
+        rc_canary_window = window;
+        rc_precopy = precopy;
+        rc_retries = Option.value retry ~default:3;
+        rc_backoff = Option.value backoff ~default:2000.0 /. 1000.0 }
+    in
+    Printf.printf "rolling %d replica(s) to %s...\n" n target;
+    (match
+       Rolling.run bus cfg ~group ?supervisor
+         ~on_retarget:(fun ~slot ~instance ->
+           Kv.Loadgen.retarget lg ~slot ~instance)
+         ()
+     with
+    | Ok report -> Fmt.pr "%a@." Rolling.pp_report report
+    | Error e when Dr_bus.Bus.controller_down bus -> (
+      Printf.printf "wave interrupted: %s\n" e;
+      match Rolling.recover bus with
+      | Error e -> or_die (Error ("recovery failed: " ^ e))
+      | Ok (report, waves) ->
+        Fmt.pr "recovery: %a@." Dr_reconfig.Recovery.pp_report report;
+        List.iter
+          (fun (w : Dr_reconfig.Recovery.wave) ->
+            Printf.printf "wave #%d -> %s: %s, %d slot(s) done\n" w.wv_wid
+              w.wv_target
+              (match w.wv_status with
+              | Dr_reconfig.Recovery.Wave_committed -> "committed"
+              | Dr_reconfig.Recovery.Wave_aborted r -> "aborted (" ^ r ^ ")"
+              | Dr_reconfig.Recovery.Wave_open ->
+                "open — roster held, re-roll at your discretion")
+              (List.length w.wv_done))
+          waves)
+    | Error e -> or_die (Error e));
+    Kv.Loadgen.stop lg;
+    Dr_bus.Bus.run ~until:(Dr_bus.Bus.now bus +. 30.0) bus;
+    let s = Kv.Loadgen.stats lg in
+    Printf.printf
+      "traffic: %d sent, %d answered, %d wrong, %d shed, %d duplicated, %d \
+       in flight\n"
+      s.st_sent s.st_answered s.st_wrong s.st_shed s.st_duplicated
+      s.st_inflight;
+    if s.st_inflight <> 0 || s.st_sent <> s.st_answered + s.st_shed then
+      or_die (Error "request accounting violated (lost traffic)")
+  in
+  let replicas =
+    Arg.(
+      value
+      & opt (positive_int_conv ~flag:"--replicas") 3
+      & info [ "replicas" ] ~docv:"N" ~doc:"Replica-group size (default 3).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 4.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Client request rate, requests per unit of virtual time.")
+  in
+  let target =
+    Arg.(
+      value & opt string "rstorev2"
+      & info [ "target" ] ~docv:"MODULE"
+          ~doc:
+            "Module to roll the group to: $(b,rstorev2) (the good v2 \
+             build) or $(b,rstorebad) (the deliberately-bad canary \
+             build, to watch the SLO gates roll it back).")
+  in
+  let drain =
+    Arg.(
+      value & opt float 6.0
+      & info [ "drain" ] ~docv:"T"
+          ~doc:"Drain timeout per replica, virtual time.")
+  in
+  let window =
+    Arg.(
+      value & opt float 8.0
+      & info [ "window" ] ~docv:"T"
+          ~doc:"Canary observation window, virtual time.")
+  in
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Start a crash supervisor over the group; the wave adopts \
+             each new generation so supervision survives the upgrades.")
+  in
+  Cmd.v
+    (Cmd.info "roll"
+       ~doc:
+         "Roll a live replica group to a new build: drain, replace, \
+          canary under SLO gates, rollback on failure — a demo of the \
+          autonomic rolling-replacement controller over the bundled \
+          kvstore replica workload.")
+    Term.(
+      const run $ replicas $ rate $ target $ retry_arg $ backoff_arg $ drain
+      $ window $ precopy_arg $ supervise $ faults_arg $ wal_arg)
+
 (* ----------------------------------------------------------------- exec *)
 
 let exec_cmd =
-  let run file max_steps faults trace =
+  let run file max_steps faults trace retry backoff =
     let program = or_die (parse_program_file file) in
     (match Dr_lang.Typecheck.check program with
     | Ok () -> ()
@@ -567,25 +775,46 @@ let exec_cmd =
         | _ ->
           or_die (Error (Printf.sprintf "bad --faults %S: expected kill@N" spec)))
     in
-    let io = Dr_interp.Io_intf.null ~print:print_endline () in
-    let machine = Dr_interp.Machine.create ~io program in
-    let executed = ref 0 in
-    if trace || Option.is_some crash_at then
-      Dr_interp.Machine.set_tracer machine
-        (Some
-           (fun proc pc instr ->
-             incr executed;
-             (match crash_at with
-             | Some n when !executed = n ->
-               Dr_interp.Machine.force_crash machine "injected crash"
-             | _ -> ());
-             if trace then
-               Fmt.epr "[trace] %-12s %4d  %a@." proc pc Dr_interp.Ir.pp_instr instr));
-    Dr_interp.Machine.run ~max_steps machine;
-    Fmt.pr "[%a after %d instruction(s)]@."
-      Dr_interp.Machine.pp_status
-      (Dr_interp.Machine.status machine)
-      (Dr_interp.Machine.instr_count machine)
+    let attempts = Option.value retry ~default:1 in
+    let backoff_ms = Option.value backoff ~default:1000.0 in
+    let one_attempt () =
+      let io = Dr_interp.Io_intf.null ~print:print_endline () in
+      let machine = Dr_interp.Machine.create ~io program in
+      let executed = ref 0 in
+      if trace || Option.is_some crash_at then
+        Dr_interp.Machine.set_tracer machine
+          (Some
+             (fun proc pc instr ->
+               incr executed;
+               (match crash_at with
+               | Some n when !executed = n ->
+                 Dr_interp.Machine.force_crash machine "injected crash"
+               | _ -> ());
+               if trace then
+                 Fmt.epr "[trace] %-12s %4d  %a@." proc pc Dr_interp.Ir.pp_instr
+                   instr));
+      Dr_interp.Machine.run ~max_steps machine;
+      machine
+    in
+    let rec go attempt =
+      let machine = one_attempt () in
+      (match Dr_interp.Machine.status machine with
+      | Dr_interp.Machine.Crashed reason when attempt < attempts ->
+        (* exponential backoff, wall clock: standalone execution has no
+           virtual clock to wait on *)
+        let delay_ms = backoff_ms *. (2.0 ** float_of_int (attempt - 1)) in
+        Fmt.pr "[attempt %d/%d crashed: %s; retrying in %g ms]@." attempt
+          attempts reason delay_ms;
+        Unix.sleepf (delay_ms /. 1000.0);
+        go (attempt + 1)
+      | _ ->
+        Fmt.pr "[%a after %d instruction(s)%s]@." Dr_interp.Machine.pp_status
+          (Dr_interp.Machine.status machine)
+          (Dr_interp.Machine.instr_count machine)
+          (if attempt > 1 then Printf.sprintf ", attempt %d/%d" attempt attempts
+           else ""))
+    in
+    go 1
   in
   let max_steps =
     Arg.(
@@ -604,7 +833,9 @@ let exec_cmd =
   in
   Cmd.v
     (Cmd.info "exec" ~doc:"Run a single module standalone (no bus).")
-    Term.(const run $ file_arg $ max_steps $ faults $ trace)
+    Term.(
+      const run $ file_arg $ max_steps $ faults $ trace $ retry_arg
+      $ backoff_arg)
 
 let () =
   let info =
@@ -615,4 +846,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ transform_cmd; graph_cmd; callgraph_cmd; advise_cmd; optimize_cmd;
-            check_cmd; run_cmd; exec_cmd; inspect_cmd; recover_cmd ]))
+            check_cmd; run_cmd; roll_cmd; exec_cmd; inspect_cmd; recover_cmd ]))

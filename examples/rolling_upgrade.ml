@@ -1,0 +1,90 @@
+(* A rolling upgrade under live traffic.
+
+   Three interchangeable key-value replicas (s1 s2 s3) serve a seeded
+   open-loop request stream. A rolling wave upgrades them one at a
+   time to the v2 build: each member drains (the bus reroutes its
+   traffic to the siblings), is replaced through the journaled script,
+   and holds the slot as a canary until the SLO gates pass. Then the
+   same machinery meets a deliberately-bad build — every canary fails
+   its error-rate gate, is rolled back, and the wave aborts with the
+   fleet back on v2, no request lost.
+
+   Run with: dune exec examples/rolling_upgrade.exe *)
+
+module Bus = Dr_bus.Bus
+module Kv = Dr_workloads.Kvstore
+module Rolling = Dr_reconfig.Rolling
+
+let show_report r = Format.printf "%a@." Rolling.pp_report r
+
+let show_stats (s : Kv.Loadgen.stats) =
+  Printf.printf
+    "  traffic: %d sent, %d answered, %d wrong, %d shed, %d in flight\n"
+    s.st_sent s.st_answered s.st_wrong s.st_shed s.st_inflight
+
+let () =
+  let n = 3 in
+  let system = Kv.Replica.load ~n in
+  let bus = Kv.Replica.start ~n system in
+  let group = Kv.Replica.group ~n in
+  let roster = Hashtbl.create 4 in
+  List.iter (fun (slot, inst) -> Hashtbl.replace roster slot inst) group;
+  let lg =
+    Kv.Loadgen.start bus
+      { Kv.Loadgen.default_conf with lc_rate = 6.0; lc_duration = 300.0 }
+      ~slots:group
+  in
+  Bus.run ~until:10.0 bus;
+
+  print_endline "rolling the fleet to the v2 build...";
+  let cfg =
+    { (Rolling.default_config ~target:"rstorev2") with
+      rc_drain_timeout = 6.0;
+      rc_canary_window = 8.0 }
+  in
+  let report =
+    match
+      Rolling.run bus cfg ~group
+        ~on_retarget:(fun ~slot ~instance ->
+          Hashtbl.replace roster slot instance;
+          Kv.Loadgen.retarget lg ~slot ~instance)
+        ()
+    with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  show_report report;
+  show_stats (Kv.Loadgen.stats lg);
+
+  print_endline "\nnow rolling to a bad build (every canary must fail)...";
+  let group2 =
+    List.map (fun (slot, _) -> (slot, Hashtbl.find roster slot)) group
+  in
+  let report2 =
+    match
+      Rolling.run bus
+        { cfg with rc_target = "rstorebad"; rc_retries = 2; rc_backoff = 1.0 }
+        ~group:group2
+        ~on_retarget:(fun ~slot ~instance ->
+          Hashtbl.replace roster slot instance;
+          Kv.Loadgen.retarget lg ~slot ~instance)
+        ()
+    with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  show_report report2;
+
+  Kv.Loadgen.stop lg;
+  Bus.run ~until:(Bus.now bus +. 20.0) bus;
+  let s = Kv.Loadgen.stats lg in
+  show_stats s;
+  List.iter
+    (fun (slot, _) ->
+      let inst = Hashtbl.find roster slot in
+      Printf.printf "  %s -> %s (%s)\n" slot inst
+        (Option.value ~default:"?" (Bus.instance_module bus ~instance:inst)))
+    group;
+  if s.st_inflight <> 0 then failwith "requests lost";
+  if s.st_sent <> s.st_answered + s.st_shed then failwith "accounting broken";
+  print_endline "\ndone: two waves, zero lost requests."

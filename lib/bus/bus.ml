@@ -97,6 +97,14 @@ type quarantined = {
   q_byte_size : int;
 }
 
+type detector_config = {
+  dc_period : float;
+  dc_timeout : float;
+  dc_threshold : int;
+}
+
+let default_detector_config = { dc_period = 1.0; dc_timeout = 3.0; dc_threshold = 2 }
+
 exception Controller_crash
 
 type t = {
@@ -138,6 +146,14 @@ type t = {
   mutable ctl_down : bool;
   mutable ctl_next_sid : int;
   mutable ctl_open : int;  (* scripts begun and not yet committed/aborted *)
+  (* drain-aware routing: replica siblings and the members currently
+     draining. Both empty outside a rolling replacement, so the classic
+     delivery paths never consult them (golden traces untouched). *)
+  drain_members : (string, string array) Hashtbl.t;
+  draining : (string, unit) Hashtbl.t;
+  mutable drain_cursor : int;
+  (* failure-detector tunables for detectors started on this bus *)
+  mutable det_config : detector_config;
 }
 
 (* Metrics are strictly passive: these helpers never schedule events,
@@ -230,7 +246,11 @@ let create ?(params = default_params) ?(shards = 1) ~hosts () =
       ctl_crash_at = None;
       ctl_down = false;
       ctl_next_sid = 0;
-      ctl_open = 0 }
+      ctl_open = 0;
+      drain_members = Hashtbl.create 4;
+      draining = Hashtbl.create 4;
+      drain_cursor = 0;
+      det_config = default_detector_config }
   in
   if Metrics.enabled_from_env () then set_metrics t (Metrics.create ());
   t
@@ -554,7 +574,109 @@ let pending_messages t (instance, iface) =
   | None -> 0
   | Some p -> Queue.length (queue_of p iface)
 
+(* ---------------------------------------------- drain-aware routing *)
+
+let detector_config t = t.det_config
+
+let set_detector_config t cfg =
+  if cfg.dc_period <= 0.0 then
+    invalid_arg "set_detector_config: period must be positive";
+  if cfg.dc_timeout <= 0.0 then
+    invalid_arg "set_detector_config: timeout must be positive";
+  if cfg.dc_threshold <= 0 then
+    invalid_arg "set_detector_config: threshold must be positive";
+  t.det_config <- cfg
+
+let set_drain_group t ~members =
+  let arr = Array.of_list members in
+  List.iter (fun m -> Hashtbl.replace t.drain_members m arr) members
+
+let drain_group t ~instance =
+  match Hashtbl.find_opt t.drain_members instance with
+  | Some arr -> Array.to_list arr
+  | None -> []
+
+let mark_draining t ~instance =
+  if not (Hashtbl.mem t.draining instance) then begin
+    Hashtbl.replace t.draining instance ();
+    record t "drain" "%s draining: new deliveries shed to siblings" instance
+  end
+
+let clear_draining t ~instance =
+  if Hashtbl.mem t.draining instance then begin
+    Hashtbl.remove t.draining instance;
+    record t "drain" "%s admitting again" instance
+  end
+
+let is_draining t ~instance = Hashtbl.mem t.draining instance
+
+let draining_instances t =
+  List.sort String.compare
+    (Hashtbl.fold (fun k () acc -> k :: acc) t.draining [])
+
+(* Admitting = present, machine not stopped, host up, not draining. *)
+let drain_admitting t instance =
+  match find_proc t instance with
+  | None -> false
+  | Some p -> (
+    (not (host_is_down t p.p_host.host_name))
+    && (not (Hashtbl.mem t.draining instance))
+    &&
+    match Machine.status p.p_machine with
+    | Machine.Halted | Machine.Crashed _ -> false
+    | _ -> true)
+
+let drain_alive t instance =
+  match find_proc t instance with
+  | None -> false
+  | Some p -> (
+    (not (host_is_down t p.p_host.host_name))
+    &&
+    match Machine.status p.p_machine with
+    | Machine.Halted | Machine.Crashed _ -> false
+    | _ -> true)
+
+let resolve_drain t ~instance =
+  if drain_admitting t instance then Some instance
+  else
+    let fallback () = if drain_alive t instance then Some instance else None in
+    match Hashtbl.find_opt t.drain_members instance with
+    | None -> fallback ()
+    | Some members ->
+      let n = Array.length members in
+      let rec pick i k =
+        if k = 0 then None
+        else
+          let cand = members.(i mod n) in
+          if (not (String.equal cand instance)) && drain_admitting t cand then
+            Some cand
+          else pick (i + 1) (k - 1)
+      in
+      t.drain_cursor <- t.drain_cursor + 1;
+      (match pick t.drain_cursor n with
+      | Some _ as r -> r
+      | None -> fallback ())
+
+(* Consulted on the delivery paths: only when at least one member is
+   draining, so fault-free runs never pay (or perturb) anything. *)
+let drain_redirect t dst =
+  if Hashtbl.length t.draining = 0 then dst
+  else
+    let instance, iface = dst in
+    if not (Hashtbl.mem t.draining instance) then dst
+    else
+      match resolve_drain t ~instance with
+      | Some target when not (String.equal target instance) ->
+        m_incr t
+          ~labels:[ ("from", instance); ("to", target) ]
+          "bus.drain_redirect";
+        record t "drain" "redirect %s.%s -> %s.%s (draining)" instance iface
+          target iface;
+        (target, iface)
+      | Some _ | None -> dst
+
 let deliver t ~dst value =
+  let dst = drain_redirect t dst in
   let instance, iface = dst in
   match find_proc t instance with
   | None ->
@@ -693,6 +815,11 @@ let out_memo_of t p iface =
    wording for every failure case. *)
 let deliver_batched t dom (bm : pending_msg) =
   let dst = bm.bm_dst.de_dst in
+  if Hashtbl.length t.draining > 0 && Hashtbl.mem t.draining (fst dst) then
+    (* draining member: fall back to the classic path, which redirects
+       to an admitting sibling (only drain windows pay this) *)
+    deliver t ~dst bm.bm_value
+  else
   match resolve_dest t bm.bm_dst with
   | Some p ->
     if host_is_down t p.p_host.host_name then

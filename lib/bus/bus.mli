@@ -342,6 +342,73 @@ val peek_queue : t -> endpoint -> Dr_state.Value.t list
 val inject : t -> dst:endpoint -> Dr_state.Value.t -> unit
 (** Test/driver helper: place a message directly in a queue. *)
 
+(** {1 Drain-aware routing}
+
+    A replica group can be registered as a {e drain group}: siblings
+    that serve the same requests. While a member is marked draining
+    (the first phase of a rolling replacement), messages delivered to
+    it are redirected to a live, non-draining sibling so the member's
+    queue runs dry while the group keeps absorbing traffic. With no
+    group registered — or no member marked — every delivery path is
+    byte-for-byte the classic one (pinned by the golden traces). *)
+
+val set_drain_group : t -> members:string list -> unit
+(** Register (or re-register, after a member is renamed by a
+    replacement) the sibling set. Each member maps to the full list. *)
+
+val drain_group : t -> instance:string -> string list
+(** The registered siblings of [instance] ([[]] when none). *)
+
+val mark_draining : t -> instance:string -> unit
+(** Stop admitting new deliveries: subsequent messages for [instance]
+    are redirected to a sibling chosen by {!resolve_drain}. Messages
+    already queued stay — draining means serving them out. *)
+
+val clear_draining : t -> instance:string -> unit
+
+val is_draining : t -> instance:string -> bool
+
+val draining_instances : t -> string list
+(** Every instance currently marked draining, sorted — lets a recovery
+    path clear marks left behind by a controller that died mid-drain,
+    even when a supervisor has since renamed the generation. *)
+
+val resolve_drain : t -> instance:string -> string option
+(** Where a request addressed to [instance] should go right now:
+    [instance] itself when it is admitting (live, not draining);
+    otherwise a live non-draining sibling (rotating over the group for
+    balance); otherwise [instance] itself if it is at least alive
+    (draining but present beats dropping); [None] when the whole group
+    is unavailable — the caller must {e shed} the request explicitly
+    (and count it) rather than lose it silently. Open-loop load
+    generators call this at send time; the bus applies the same rule
+    to routed deliveries. *)
+
+(** {1 Failure-detector tunables}
+
+    Suspicion parameters for {!Dr_reconfig.Detector}s started on this
+    bus. Per-bus rather than compile-time so a rolling-replacement
+    canary window can widen the detector's patience first — a replace
+    landing inside one heartbeat interval must not race the detector
+    into a false suspicion (and a double replacement). *)
+
+type detector_config = {
+  dc_period : float;  (** heartbeat/check period *)
+  dc_timeout : float;  (** silence beyond this gains suspicion *)
+  dc_threshold : int;  (** consecutive silent checks until suspected *)
+}
+
+val default_detector_config : detector_config
+(** period 1.0, timeout 3.0, threshold 2 — the former compile-time
+    constants. *)
+
+val detector_config : t -> detector_config
+
+val set_detector_config : t -> detector_config -> unit
+(** Rejects non-positive period/timeout/threshold with
+    [Invalid_argument]. Detectors read the config at [start]; changing
+    it does not retune detectors already running. *)
+
 (** {1 Reconfiguration support} *)
 
 val signal_reconfig : t -> instance:string -> unit

@@ -141,10 +141,19 @@ let start t ~app ~hosts ?params ?shards ?default_host () =
   let* () = Dr_bus.Deploy.deploy bus ~config:t.config ~app ~default_host in
   Ok bus
 
-let migrate ?precopy bus ~instance ~new_instance ~new_host =
-  Dr_reconfig.Script.run_sync bus ~watch:instance (fun ~on_done ->
-      Dr_reconfig.Script.migrate bus ?precopy ~instance ~new_instance ~new_host
-        ~on_done ())
+let migrate ?precopy ?deadline ?retry bus ~instance ~new_instance ~new_host =
+  match (deadline, retry) with
+  | None, None ->
+    Dr_reconfig.Script.run_sync bus ~watch:instance (fun ~on_done ->
+        Dr_reconfig.Script.migrate bus ?precopy ~instance ~new_instance
+          ~new_host ~on_done ())
+  | _ ->
+    (* a migration is a replace onto a new host; with a deadline or a
+       retry policy the script handles the non-complying target itself,
+       so no fail-fast watch (see [replace]) *)
+    Dr_reconfig.Script.run_sync bus (fun ~on_done ->
+        Dr_reconfig.Script.replace bus ?precopy ~instance ~new_instance
+          ~new_host ?deadline ?retry ~on_done ())
 
 let replace bus ?precopy ~instance ~new_instance ?new_module ?new_host
     ?deadline ?retry () =

@@ -60,11 +60,16 @@ val start :
 
 val migrate :
   ?precopy:bool ->
+  ?deadline:float ->
+  ?retry:Dr_reconfig.Script.retry ->
   Dr_bus.Bus.t ->
   instance:string ->
   new_instance:string ->
   new_host:string ->
   (string, string) result
+(** [deadline] and [retry] behave as in {!replace} (a migration is a
+    replace onto [new_host]); without them the classic fail-fast watch
+    on [instance] applies. *)
 
 val replace :
   Dr_bus.Bus.t ->

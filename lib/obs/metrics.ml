@@ -115,6 +115,33 @@ let histogram_count t ?(labels = []) name =
   | Some h -> h.h_count
   | None -> 0
 
+let histogram_sum t ?(labels = []) name =
+  match Hashtbl.find_opt t.hists (name, canon labels) with
+  | Some h -> h.h_sum
+  | None -> 0.
+
+let histogram_buckets t ?(labels = []) name =
+  match Hashtbl.find_opt t.hists (name, canon labels) with
+  | None -> []
+  | Some h ->
+    Hashtbl.fold (fun e r acc -> (e, !r) :: acc) h.h_buckets []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let bucket_quantile ~q buckets =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  if total = 0 || q <= 0. || q > 1. then None
+  else
+    let target = q *. float_of_int total in
+    let rec walk cum = function
+      | [] -> None
+      | (e, n) :: rest ->
+        let cum = cum + n in
+        if float_of_int cum >= target -. 1e-9 then
+          Some (if e = min_int then 0. else Float.pow 2. (float_of_int (e + 1)))
+        else walk cum rest
+    in
+    walk 0 buckets
+
 let sorted_entries tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (((na, la) : key), _) ((nb, lb), _) ->

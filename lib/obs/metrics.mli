@@ -65,6 +65,24 @@ val gauge_value : t -> ?labels:labels -> string -> float option
 
 val histogram_count : t -> ?labels:labels -> string -> int
 
+val histogram_sum : t -> ?labels:labels -> string -> float
+(** 0 if the histogram has no observations. *)
+
+val histogram_buckets : t -> ?labels:labels -> string -> (int * int) list
+(** The log-2 buckets as [(exponent, count)] pairs sorted by exponent:
+    bucket [e] counts observations [v] with [2^e <= v < 2^(e+1)];
+    exponent [min_int] collects [v <= 0]. Empty when the histogram does
+    not exist. The raw material for windowed quantile estimates — diff
+    two snapshots of the same histogram and feed the deltas to
+    {!bucket_quantile}. *)
+
+val bucket_quantile : q:float -> (int * int) list -> float option
+(** Estimate the [q]-quantile (0 < q <= 1) from [(exponent, count)]
+    bucket deltas: the upper bound [2^(e+1)] of the first bucket whose
+    cumulative count reaches [q] of the total — a conservative
+    (over-)estimate, appropriate for SLO ceilings. [None] when the
+    total count is zero. *)
+
 val counters : t -> (string * labels * int) list
 (** All counters, sorted by (name, labels). *)
 

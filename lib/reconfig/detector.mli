@@ -26,10 +26,12 @@ val start :
   watch:string list ->
   unit ->
   t
-(** Begin watching. Defaults: [period = 1.0] (heartbeat/check tick),
-    [timeout = 3.0] (max silence before a tick counts against the
-    instance), [threshold = 2] (silent ticks until suspected).
-    Installs itself as the bus's single activity hook. *)
+(** Begin watching. Parameters left unspecified default to the
+    {e per-bus} tunables ({!Dr_bus.Bus.set_detector_config}; period =
+    heartbeat/check tick, timeout = max silence before a tick counts
+    against the instance, threshold = silent ticks until suspected —
+    1.0 / 3.0 / 2 out of the box). Installs itself as the bus's single
+    activity hook. *)
 
 val stop : t -> unit
 (** Stop ticking and release the activity hook. *)

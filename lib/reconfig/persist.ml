@@ -32,6 +32,10 @@ type record =
   | Abort of { sid : int; reason : string }
   | Undo_done of { sid : int; index : int }
   | Abort_done of { sid : int }
+  | Wave_begin of { wid : int; w_group : (string * string) list; w_target : string }
+  | Wave_replica_done of { wid : int; wr_slot : string; wr_instance : string }
+  | Wave_commit of { wid : int }
+  | Wave_abort of { wid : int; w_reason : string }
 
 let malformed fmt = Format.kasprintf (fun s -> raise (Codec.Malformed s)) fmt
 
@@ -247,6 +251,10 @@ let kind_commit = 3
 let kind_abort = 4
 let kind_undo_done = 5
 let kind_abort_done = 6
+let kind_wave_begin = 7
+let kind_wave_replica_done = 8
+let kind_wave_commit = 9
+let kind_wave_abort = 10
 
 let kind_of = function
   | Begin _ -> kind_begin
@@ -255,6 +263,12 @@ let kind_of = function
   | Abort _ -> kind_abort
   | Undo_done _ -> kind_undo_done
   | Abort_done _ -> kind_abort_done
+  | Wave_begin _ -> kind_wave_begin
+  | Wave_replica_done _ -> kind_wave_replica_done
+  | Wave_commit _ -> kind_wave_commit
+  | Wave_abort _ -> kind_wave_abort
+
+let is_wave_kind kind = kind >= kind_wave_begin && kind <= kind_wave_abort
 
 let sid_of = function
   | Begin { sid; _ }
@@ -264,6 +278,11 @@ let sid_of = function
   | Undo_done { sid; _ }
   | Abort_done { sid } ->
     sid
+  | Wave_begin { wid; _ }
+  | Wave_replica_done { wid; _ }
+  | Wave_commit { wid }
+  | Wave_abort { wid; _ } ->
+    wid
 
 let encode record =
   Bin_util.with_buffer @@ fun buf ->
@@ -271,9 +290,20 @@ let encode record =
   (match record with
   | Begin { label; _ } -> Wire.write_string buf label
   | Entry { entry; _ } -> w_entry buf entry
-  | Commit _ | Abort_done _ -> ()
+  | Commit _ | Abort_done _ | Wave_commit _ -> ()
   | Abort { reason; _ } -> Wire.write_string buf reason
-  | Undo_done { index; _ } -> Wire.write_int buf index);
+  | Undo_done { index; _ } -> Wire.write_int buf index
+  | Wave_begin { w_group; w_target; _ } ->
+    w_list
+      (fun buf (slot, instance) ->
+        Wire.write_string buf slot;
+        Wire.write_string buf instance)
+      buf w_group;
+    Wire.write_string buf w_target
+  | Wave_replica_done { wr_slot; wr_instance; _ } ->
+    Wire.write_string buf wr_slot;
+    Wire.write_string buf wr_instance
+  | Wave_abort { w_reason; _ } -> Wire.write_string buf w_reason);
   Buffer.to_bytes buf
 
 let decode ~kind body =
@@ -289,6 +319,26 @@ let decode ~kind body =
     else if kind = kind_undo_done then
       Undo_done { sid; index = Wire.read_int r }
     else if kind = kind_abort_done then Abort_done { sid }
+    else if kind = kind_wave_begin then begin
+      let w_group =
+        r_list
+          (fun r ->
+            let slot = Wire.read_string r in
+            let instance = Wire.read_string r in
+            (slot, instance))
+          r
+      in
+      let w_target = Wire.read_string r in
+      Wave_begin { wid = sid; w_group; w_target }
+    end
+    else if kind = kind_wave_replica_done then begin
+      let wr_slot = Wire.read_string r in
+      let wr_instance = Wire.read_string r in
+      Wave_replica_done { wid = sid; wr_slot; wr_instance }
+    end
+    else if kind = kind_wave_commit then Wave_commit { wid = sid }
+    else if kind = kind_wave_abort then
+      Wave_abort { wid = sid; w_reason = Wire.read_string r }
     else malformed "unknown control-log record kind %d" kind
   in
   if Bin_util.remaining r <> 0 then
@@ -335,3 +385,11 @@ let describe = function
   | Abort { sid; reason } -> Printf.sprintf "abort   #%d %s" sid reason
   | Undo_done { sid; index } -> Printf.sprintf "undone  #%d step %d" sid index
   | Abort_done { sid } -> Printf.sprintf "aborted #%d" sid
+  | Wave_begin { wid; w_group; w_target } ->
+    Printf.sprintf "wave    #%d begin: %d replica(s) -> %s" wid
+      (List.length w_group) w_target
+  | Wave_replica_done { wid; wr_slot; wr_instance } ->
+    Printf.sprintf "wave    #%d slot %s now %s" wid wr_slot wr_instance
+  | Wave_commit { wid } -> Printf.sprintf "wave    #%d committed" wid
+  | Wave_abort { wid; w_reason } ->
+    Printf.sprintf "wave    #%d aborted: %s" wid w_reason

@@ -55,9 +55,25 @@ type record =
       (** the entry at 1-based application-order [index] has been
           undone *)
   | Abort_done of { sid : int }
+  | Wave_begin of { wid : int; w_group : (string * string) list; w_target : string }
+      (** a rolling-replacement wave ({!Rolling}) opened over the
+          [(slot, current instance)] pairs in [w_group], upgrading each
+          slot to module [w_target]. Wave records share the WAL with the
+          per-script grammar but form their own (coarser) grammar:
+          replica completions between begin and commit/abort. *)
+  | Wave_replica_done of { wid : int; wr_slot : string; wr_instance : string }
+      (** slot [wr_slot] finished its canary and is now permanently
+          served by [wr_instance] *)
+  | Wave_commit of { wid : int }
+  | Wave_abort of { wid : int; w_reason : string }
 
 val kind_of : record -> int
 (** The WAL record kind byte for this record. *)
+
+val is_wave_kind : int -> bool
+(** [true] for the four wave record kinds — {!Recovery.scan} skips
+    them (they are not part of the per-script grammar);
+    {!Rolling.recover} reads them. *)
 
 val encode : record -> bytes
 

@@ -62,10 +62,17 @@ let scan wal =
   try
     List.iter
       (fun (lsn, kind, body) ->
+        (* wave records share the log but not the per-script grammar;
+           they are Rolling.waves's concern *)
+        if Persist.is_wave_kind kind then ()
+        else
         match Persist.decode ~kind body with
         | Error e -> fail "lsn %d: %s" lsn e
         | Ok record -> (
           match record with
+          | Persist.Wave_begin _ | Persist.Wave_replica_done _
+          | Persist.Wave_commit _ | Persist.Wave_abort _ ->
+            assert false (* filtered by kind above *)
           | Persist.Begin { sid; label } ->
             if Hashtbl.mem scripts sid then
               fail "lsn %d: duplicate begin for script #%d" lsn sid;
@@ -133,6 +140,83 @@ let scan wal =
   with
   | Failure e -> Error e
   | Invalid_argument e -> Error e (* Wal.records on a damaged log *)
+
+(* ------------------------------------------------------------- waves *)
+
+type wave_status = Wave_committed | Wave_aborted of string | Wave_open
+
+type wave = {
+  wv_wid : int;
+  wv_target : string;
+  wv_group : (string * string) list;
+  wv_done : (string * string) list;
+  wv_status : wave_status;
+}
+
+type wacc = {
+  wa_wid : int;
+  wa_target : string;
+  wa_group : (string * string) list;
+  mutable wa_done : (string * string) list;  (* newest first *)
+  mutable wa_status : wave_status;
+}
+
+let waves wal =
+  let tbl : (int, wacc) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> failwith s) fmt in
+  let lookup ~what lsn wid =
+    match Hashtbl.find_opt tbl wid with
+    | Some a -> a
+    | None -> fail "lsn %d: %s for unknown wave #%d" lsn what wid
+  in
+  try
+    List.iter
+      (fun (lsn, kind, body) ->
+        if not (Persist.is_wave_kind kind) then ()
+        else
+          match Persist.decode ~kind body with
+          | Error e -> fail "lsn %d: %s" lsn e
+          | Ok (Persist.Wave_begin { wid; w_group; w_target }) ->
+            if Hashtbl.mem tbl wid then
+              fail "lsn %d: duplicate begin for wave #%d" lsn wid;
+            Hashtbl.replace tbl wid
+              { wa_wid = wid; wa_target = w_target; wa_group = w_group;
+                wa_done = []; wa_status = Wave_open };
+            order := wid :: !order
+          | Ok (Persist.Wave_replica_done { wid; wr_slot; wr_instance }) ->
+            let a = lookup ~what:"replica-done" lsn wid in
+            if a.wa_status <> Wave_open then
+              fail "lsn %d: replica-done after terminator for wave #%d" lsn wid;
+            if not (List.mem_assoc wr_slot a.wa_group) then
+              fail "lsn %d: replica-done for unknown slot %s of wave #%d" lsn
+                wr_slot wid;
+            a.wa_done <- (wr_slot, wr_instance) :: a.wa_done
+          | Ok (Persist.Wave_commit { wid }) ->
+            let a = lookup ~what:"commit" lsn wid in
+            if a.wa_status <> Wave_open then
+              fail "lsn %d: commit of finished wave #%d" lsn wid;
+            a.wa_status <- Wave_committed
+          | Ok (Persist.Wave_abort { wid; w_reason }) ->
+            let a = lookup ~what:"abort" lsn wid in
+            if a.wa_status <> Wave_open then
+              fail "lsn %d: abort of finished wave #%d" lsn wid;
+            a.wa_status <- Wave_aborted w_reason
+          | Ok _ -> assert false (* is_wave_kind filtered *))
+      (Wal.records wal);
+    Ok
+      (List.rev_map
+         (fun wid ->
+           let a = Hashtbl.find tbl wid in
+           { wv_wid = a.wa_wid;
+             wv_target = a.wa_target;
+             wv_group = a.wa_group;
+             wv_done = List.rev a.wa_done;
+             wv_status = a.wa_status })
+         !order)
+  with
+  | Failure e -> Error e
+  | Invalid_argument e -> Error e
 
 type report = {
   rp_records : int;

@@ -36,7 +36,35 @@ val scan : Dr_wal.Wal.t -> (script list, string) result
     on, grouped per script in first-[Begin] order. Fails loudly — never
     guesses — on a record that does not decode, a record for an unknown
     script id, an entry after a terminator, an [Undo_done] out of
-    sequence, or a duplicate [Begin]. *)
+    sequence, or a duplicate [Begin]. Wave records
+    ({!Persist.is_wave_kind}) are skipped — see {!waves}. *)
+
+(** {1 Rolling waves}
+
+    The wave records a {!Rolling} controller logs around its per-replica
+    scripts. They share the WAL but form their own, coarser grammar. *)
+
+type wave_status =
+  | Wave_committed
+  | Wave_aborted of string
+  | Wave_open  (** no terminator — the controller died mid-wave *)
+
+type wave = {
+  wv_wid : int;
+  wv_target : string;  (** module each slot is being upgraded to *)
+  wv_group : (string * string) list;
+      (** [(slot, instance at wave start)] for every member *)
+  wv_done : (string * string) list;
+      (** [(slot, new instance)] for slots whose canary committed,
+          in completion order *)
+  wv_status : wave_status;
+}
+
+val waves : Dr_wal.Wal.t -> (wave list, string) result
+(** Decode and validate the wave records from the checkpoint on, in
+    begin order. Call {e before} {!replay} — replay ends by
+    checkpointing the log, which garbage-collects wave records along
+    with everything else. *)
 
 type report = {
   rp_records : int;  (** control records replayed *)

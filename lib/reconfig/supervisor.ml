@@ -113,6 +113,22 @@ let start bus ?(period = 1.0) ?(max_restarts = 3) ?(fallback_hosts = [])
   Dr_sim.Engine.schedule (Bus.engine bus) ~delay:t.period tick;
   t
 
+(* A planned replacement (e.g. a rolling wave) changed the instance
+   standing in for [base] out from under us. Without this, the next
+   tick would see [instance_module = None] for the old generation and
+   silently drop the watch — and a later crash of the new generation
+   would go unrestarted. Adoption keeps the restart budget: planned
+   replacement is not a crash. *)
+let adopt t ~base ~instance =
+  match Hashtbl.find_opt t.watched base with
+  | None -> ()
+  | Some (current, n) ->
+    if current <> instance then begin
+      record t "adopting %s as the current generation of %s" instance base;
+      Detector.rewatch t.detector ~old_instance:current ~new_instance:instance;
+      Hashtbl.replace t.watched base (instance, n)
+    end
+
 let stop t =
   if t.running then begin
     t.running <- false;

@@ -55,6 +55,13 @@ val stop : t -> unit
 val detector : t -> Detector.t
 (** The detector the supervisor acts on. *)
 
+val adopt : t -> base:string -> instance:string -> unit
+(** A {e planned} replacement (a reconfiguration script, a rolling
+    wave) swapped the generation standing in for [base]: point the
+    supervision at [instance] without burning a restart from the
+    budget. The detector is rewatched with fresh evidence. No-op if
+    [base] is not watched or already points at [instance]. *)
+
 val restarts : t -> restart list
 (** Restart history, oldest first. *)
 

@@ -177,6 +177,19 @@ let scale_in bus =
 
 let dispatcher_backlog bus ~instance = Bus.pending_messages bus (instance, "jobs")
 
+(* The occupied worker slots form a natural drain group: they serve the
+   same jobs, so a draining worker's routed traffic can be absorbed by
+   its siblings. Registers the group and returns the members. *)
+let worker_drain_group bus =
+  let workers =
+    List.sort String.compare
+      (List.filter
+         (fun inst -> Bus.instance_module bus ~instance:inst = Some "worker")
+         (Bus.instances bus))
+  in
+  Bus.set_drain_group bus ~members:workers;
+  workers
+
 let results bus =
   List.filter_map
     (fun line ->

@@ -32,6 +32,13 @@ val scale_in : Dr_bus.Bus.t -> unit
 val dispatcher_backlog : Dr_bus.Bus.t -> instance:string -> int
 (** Jobs queued at the dispatcher. *)
 
+val worker_drain_group : Dr_bus.Bus.t -> string list
+(** Register the live workers as a bus drain group
+    ({!Dr_bus.Bus.set_drain_group}) and return them, sorted — jobs
+    routed to a member marked draining are absorbed by its siblings,
+    on the {e routed} delivery path (unlike the kvstore group, which
+    is driven by direct injection). *)
+
 val results : Dr_bus.Bus.t -> int list
 (** Job results the collector has received, in arrival order. *)
 
