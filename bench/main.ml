@@ -312,4 +312,5 @@ let () =
   if what = "interp" then Interp_bench.all ~quick ();
   if what = "disruption" then Disruption.all ~quick ();
   if what = "wal" then Wal_bench.all ~quick ();
-  if what = "rolling" then Rolling.all ~quick ()
+  if what = "rolling" then Rolling.all ~quick ();
+  if what = "mc" then Mc.all ~quick ()

@@ -7,6 +7,8 @@
      drc run --mil app.mil --src m=path --app a  deploy and simulate
      drc run ... --wal DIR                       ... with a durable control log
      drc recover DIR                             audit a control log
+     drc mc --config single-replace              model-check a configuration
+     drc mc --repro cex.sched --trace            replay a counterexample
      drc roll --replicas 3 --target rstorev2     rolling replacement demo
      drc exec module.mp                          run one module standalone *)
 
@@ -837,6 +839,138 @@ let exec_cmd =
       const run $ file_arg $ max_steps $ faults $ trace $ retry_arg
       $ backoff_arg)
 
+(* ------------------------------------------------------------------- mc *)
+
+(* Systematic state-space exploration of the checked configuration
+   catalogue (Dr_mc.Configs), and replay of recorded counterexample
+   schedules. *)
+let mc_cmd =
+  let module Explorer = Dr_mc.Explorer in
+  let module Configs = Dr_mc.Configs in
+  let run config_name mode depth max_execs list repro trace_dump =
+    if list then begin
+      List.iter print_endline Configs.names;
+      exit 0
+    end;
+    let parse_mode = function
+      | "naive" -> Explorer.Naive
+      | "sleep" -> Explorer.Sleep
+      | "dpor" -> Explorer.Dpor
+      | m -> or_die (Error (Printf.sprintf "unknown mode %S" m))
+    in
+    let get_config name =
+      match Configs.by_name name with
+      | Some cfg -> cfg
+      | None ->
+        or_die
+          (Error
+             (Printf.sprintf "unknown config %S (try: %s)" name
+                (String.concat ", " Configs.names)))
+    in
+    match repro with
+    | Some path -> (
+      let text = read_file path in
+      match Explorer.schedule_of_string text with
+      | Error e -> or_die (Error (path ^ ": " ^ e))
+      | Ok (header_name, tokens) ->
+        let name =
+          match (config_name, header_name) with
+          | Some n, _ -> n  (* explicit flag wins over the file header *)
+          | None, Some n -> n
+          | None, None ->
+            or_die
+              (Error "schedule has no `config NAME` header; pass --config")
+        in
+        let cfg = get_config name in
+        Printf.printf "replaying %d-choice schedule against %s\n"
+          (List.length tokens) name;
+        let r = Explorer.replay cfg tokens in
+        Printf.printf "end: %s\n" r.Explorer.rp_end;
+        (match r.Explorer.rp_violation with
+        | Some v ->
+          Printf.printf "VIOLATION [%s] %s\n" v.Dr_mc.Monitor.v_monitor
+            v.Dr_mc.Monitor.v_detail
+        | None -> Printf.printf "no monitor fired\n");
+        (match r.Explorer.rp_run with
+        | Some run when trace_dump ->
+          print_endline "--- trace ---";
+          Fmt.pr "%a@." Dr_sim.Trace.dump
+            (Dr_bus.Bus.trace run.Explorer.r_bus)
+        | _ -> ());
+        if r.Explorer.rp_violation <> None then exit 1)
+    | None ->
+      let name = Option.value config_name ~default:"single-replace" in
+      let cfg = get_config name in
+      let cfg =
+        { cfg with
+          Explorer.c_depth = Option.value depth ~default:cfg.Explorer.c_depth;
+          c_max_execs =
+            Option.value max_execs ~default:cfg.Explorer.c_max_execs }
+      in
+      let r = Explorer.explore ~mode:(parse_mode mode) cfg in
+      Fmt.pr "%a" Explorer.pp_result r;
+      List.iter
+        (fun ((v : Dr_mc.Monitor.violation), sched) ->
+          Printf.printf
+            "\nsave the schedule below and re-run it with `drc mc --repro \
+             FILE`:\n%s"
+            (Explorer.schedule_to_string ~config_name:name sched);
+          ignore v)
+        r.Explorer.res_violations;
+      if r.Explorer.res_violations <> [] then exit 1
+  in
+  let config_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"NAME"
+          ~doc:"Checked configuration (see --list).")
+  in
+  let mode_arg =
+    Arg.(
+      value & opt string "dpor"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Reduction tier: naive, sleep, or dpor.")
+  in
+  let depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "depth" ] ~docv:"N" ~doc:"Override the per-execution depth bound.")
+  in
+  let max_execs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-execs" ] ~docv:"N" ~doc:"Override the execution cap.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List checked configurations.")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:
+            "Replay a recorded counterexample schedule instead of exploring.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"With --repro: dump the full simulation trace.")
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Model-check a reconfiguration protocol configuration: explore \
+          every interleaving (with DPOR reduction), check the delivery / \
+          epoch / state-transfer / restart / journal monitors, and replay \
+          minimized counterexamples.")
+    Term.(
+      const run $ config_arg $ mode_arg $ depth_arg $ max_execs_arg $ list_arg
+      $ repro_arg $ trace_arg)
+
 let () =
   let info =
     Cmd.info "drc" ~version:"1.0.0"
@@ -846,4 +980,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ transform_cmd; graph_cmd; callgraph_cmd; advise_cmd; optimize_cmd;
-            check_cmd; run_cmd; roll_cmd; exec_cmd; inspect_cmd; recover_cmd ]))
+            check_cmd; run_cmd; roll_cmd; exec_cmd; inspect_cmd; recover_cmd; mc_cmd ]))

@@ -39,6 +39,10 @@ type out_memo = {
 type process = {
   p_instance : string;
   p_module : string;
+  p_gen : int;
+      (* monotone spawn generation: virtual time can stand still across a
+         kill-and-respawn of the same name, so a timestamp cannot tell
+         the two incarnations apart — this counter can *)
   mutable p_host : host;
   p_spec : Dr_mil.Spec.module_spec option;
   p_machine : Machine.t;
@@ -107,6 +111,13 @@ let default_detector_config = { dc_period = 1.0; dc_timeout = 3.0; dc_threshold 
 
 exception Controller_crash
 
+(* How a value reached an input queue: [Fresh] is a first-time delivery
+   (classic path or the reliable layer's frame arrival), [Transfer] a
+   requeue of something already delivered once (a replacement's
+   [copy_queue]). The model checker's exactly-once monitor counts only
+   [Fresh]. *)
+type delivery_kind = Fresh | Transfer
+
 type t = {
   engine : Engine.t;
   trace : Trace.t;
@@ -154,6 +165,11 @@ type t = {
   mutable drain_cursor : int;
   (* failure-detector tunables for detectors started on this bus *)
   mutable det_config : detector_config;
+  mutable spawn_gen : int;  (* next spawn generation number *)
+  (* model-checker observation point: called on every successful enqueue
+     into an input queue. Passive — never schedules, never traces. *)
+  mutable delivery_obs :
+    (dst:endpoint -> kind:delivery_kind -> Value.t -> unit) option;
 }
 
 (* Metrics are strictly passive: these helpers never schedule events,
@@ -250,7 +266,9 @@ let create ?(params = default_params) ?(shards = 1) ~hosts () =
       drain_members = Hashtbl.create 4;
       draining = Hashtbl.create 4;
       drain_cursor = 0;
-      det_config = default_detector_config }
+      det_config = default_detector_config;
+      spawn_gen = 0;
+      delivery_obs = None }
   in
   if Metrics.enabled_from_env () then set_metrics t (Metrics.create ());
   t
@@ -356,6 +374,15 @@ let transport_rename t ~old_instance ~new_instance ~fence =
    must not perturb the golden traces. *)
 let on_activity t hook = t.activity_hook <- hook
 
+(* The model checker subscribes here. Like [on_activity], strictly
+   passive observation. *)
+let set_delivery_observer t obs = t.delivery_obs <- obs
+
+let notify_delivery t ~dst ~kind value =
+  match t.delivery_obs with
+  | None -> ()
+  | Some obs -> obs ~dst ~kind value
+
 (* -------------------------------------------------- image quarantine *)
 
 let arm_image_corruption t ~instance =
@@ -451,10 +478,64 @@ let latency t src_host dst_host =
     t.bus_params.local_latency
   else t.bus_params.remote_latency
 
+(* Event labels for the model checker: computed only in MC mode, so the
+   classic hot path never pays for the route scan (and labels are inert
+   there anyway). A quantum may run controller code — a divulge callback
+   fires inside the target's quantum — so whenever a script is open or a
+   callback is armed the label degrades to global (touch = [], dependent
+   with everything). Otherwise a quantum touches its own instance plus
+   every instance its out-routes can reach, which over-approximates the
+   messages it may send. *)
+let quantum_label t p =
+  if not (Engine.mc_enabled t.engine) then Engine.tau
+  else if t.ctl_open > 0 || Option.is_some p.p_on_divulge then
+    Engine.label ~info:("quantum " ^ p.p_instance) "quantum"
+  else
+    let out =
+      List.filter_map
+        (fun ((si, _), (di, _)) ->
+          if String.equal si p.p_instance then Some di else None)
+        t.routes_rev
+    in
+    Engine.label
+      ~touch:(p.p_instance :: out)
+      ~info:("quantum " ^ p.p_instance) "quantum"
+
+(* A delivery touches its destination — or, when the destination belongs
+   to a drain group, any member the redirect may choose. (A delivery
+   whose destination died in flight re-resolves the routes; route
+   mutations are controller transitions, which are global, so the
+   approximation is benign there.) *)
+let deliver_label t ~dst value =
+  if not (Engine.mc_enabled t.engine) then Engine.tau
+  else
+    let inst = fst dst in
+    let touch =
+      match Hashtbl.find_opt t.drain_members inst with
+      | Some members -> Array.to_list members
+      | None -> [ inst ]
+    in
+    Engine.label ~touch
+      ~info:
+        (Printf.sprintf "deliver %s.%s %s" inst (snd dst)
+           (Value.to_string value))
+      "deliver"
+
+let net_label t ~src ~dst =
+  if not (Engine.mc_enabled t.engine) then Engine.tau
+  else
+    Engine.label
+      ~touch:[ fst src; fst dst ]
+      ~info:
+        (Printf.sprintf "net %s.%s -> %s.%s" (fst src) (snd src) (fst dst)
+           (snd dst))
+      "net"
+
 let rec schedule_quantum t p ~delay =
   if p.p_alive && not p.p_scheduled then begin
     p.p_scheduled <- true;
-    Engine.schedule t.engine ~delay (fun () -> run_quantum t p)
+    Engine.schedule ~label:(quantum_label t p) t.engine ~delay (fun () ->
+        run_quantum t p)
   end
 
 and run_quantum t p =
@@ -486,13 +567,15 @@ and run_quantum t p =
          quantum event (two pops per sleep); at shards > 1 the wake
          event runs the quantum directly, halving sleep overhead *)
       if t.shards > 1 then
-        Engine.schedule t.engine ~delay:(cost +. duration) (fun () ->
+        Engine.schedule ~label:(quantum_label t p) t.engine
+          ~delay:(cost +. duration) (fun () ->
             if p.p_alive then begin
               Machine.set_ready p.p_machine;
               if not p.p_scheduled then run_quantum t p
             end)
       else
-        Engine.schedule t.engine ~delay:(cost +. duration) (fun () ->
+        Engine.schedule ~label:(quantum_label t p) t.engine
+          ~delay:(cost +. duration) (fun () ->
             if p.p_alive then begin
               Machine.set_ready p.p_machine;
               schedule_quantum t p ~delay:0.0
@@ -639,23 +722,33 @@ let drain_alive t instance =
 let resolve_drain t ~instance =
   if drain_admitting t instance then Some instance
   else
-    let fallback () = if drain_alive t instance then Some instance else None in
     match Hashtbl.find_opt t.drain_members instance with
-    | None -> fallback ()
+    | None -> if drain_alive t instance then Some instance else None
     | Some members ->
       let n = Array.length members in
-      let rec pick i k =
-        if k = 0 then None
-        else
-          let cand = members.(i mod n) in
-          if (not (String.equal cand instance)) && drain_admitting t cand then
-            Some cand
-          else pick (i + 1) (k - 1)
+      let scan ok start =
+        let rec pick i k =
+          if k = 0 then None
+          else
+            let cand = members.(i mod n) in
+            if (not (String.equal cand instance)) && ok cand then Some cand
+            else pick (i + 1) (k - 1)
+        in
+        pick start n
       in
       t.drain_cursor <- t.drain_cursor + 1;
-      (match pick t.drain_cursor n with
+      (match scan (drain_admitting t) t.drain_cursor with
       | Some _ as r -> r
-      | None -> fallback ())
+      | None ->
+        (* No admitting sibling. Prefer the addressed member itself if it
+           is merely draining (it keeps serving what it must), but when
+           the group shrank mid-drain — the addressed member was killed
+           between the rotation and admission — fall through to any
+           sibling that is still alive even if draining: shedding the
+           request while a live member exists loses it outright. Found by
+           the model checker (see test_mc). *)
+        if drain_alive t instance then Some instance
+        else scan (drain_alive t) t.drain_cursor)
 
 (* Consulted on the delivery paths: only when at least one member is
    draining, so fault-free runs never pay (or perturb) anything. *)
@@ -675,7 +768,7 @@ let drain_redirect t dst =
         (target, iface)
       | Some _ | None -> dst
 
-let deliver t ~dst value =
+let deliver_k t kind ~dst value =
   let dst = drain_redirect t dst in
   let instance, iface = dst in
   match find_proc t instance with
@@ -688,9 +781,12 @@ let deliver t ~dst value =
         iface p.p_host.host_name
     else begin
       m_incr t ~labels:[ ("instance", instance) ] "bus.delivered";
+      notify_delivery t ~dst ~kind value;
       Queue.add value (queue_of p iface);
       wake_endpoint t p iface
     end
+
+let deliver t ~dst value = deliver_k t Fresh ~dst value
 
 let inject t ~dst value = deliver t ~dst value
 
@@ -705,7 +801,7 @@ let copy_queue t ~src ~dst =
        appending is unspecified *)
     let values = List.of_seq (Queue.to_seq q) in
     Queue.clear q;
-    List.iter (fun v -> deliver t ~dst v) values;
+    List.iter (fun v -> deliver_k t Transfer ~dst v) values;
     record t "queue" "cq %s.%s -> %s.%s (%d message(s))" (fst src) (snd src)
       (fst dst) (snd dst) moved
 
@@ -829,6 +925,7 @@ let deliver_batched t dom (bm : pending_msg) =
       Domain.count_delivered dom;
       if Option.is_some t.bus_metrics then
         m_incr t ~labels:t.dom_labels.(Domain.id dom) "bus.delivered";
+      notify_delivery t ~dst ~kind:Fresh bm.bm_value;
       Queue.add bm.bm_value (queue_of p (snd dst));
       (* fused wake: the classic path schedules a delay-0 quantum event
          for a reader blocked on this interface; here the quantum runs
@@ -973,7 +1070,8 @@ let route_message t p iface value =
           let delay = latency t p.p_host dst_host in
           let send ~delay =
             m_add_gauge t "bus.in_flight" 1.;
-            Engine.schedule t.engine ~delay (fun () ->
+            Engine.schedule ~label:(deliver_label t ~dst value) t.engine ~delay
+              (fun () ->
                 m_add_gauge t "bus.in_flight" (-1.);
                 deliver_or_redirect t ~src ~dst ~peers:dsts value)
           in
@@ -1010,7 +1108,9 @@ let transmit t ~src ~dst k =
     | Some a, Some b -> latency t a b
     | _ -> t.bus_params.local_latency
   in
-  let send ~delay = Engine.schedule t.engine ~delay k in
+  let send ~delay =
+    Engine.schedule ~label:(net_label t ~src ~dst) t.engine ~delay k
+  in
   match t.fault_hooks with
   | None -> send ~delay
   | Some hooks -> (
@@ -1038,6 +1138,7 @@ let deliver_now t ~dst value =
   | Some p ->
     if host_is_down t p.p_host.host_name then false
     else begin
+      notify_delivery t ~dst ~kind:Fresh value;
       Queue.add value (queue_of p iface);
       wake_endpoint t p iface;
       true
@@ -1099,9 +1200,12 @@ let spawn t ~instance ~module_name ~host ?spec ?(status = "normal") () =
           Machine.create ~status_attr:status ~io
             ~resolved:artifact.Dr_interp.Cache.a_resolved program
         in
+        let gen = t.spawn_gen in
+        t.spawn_gen <- t.spawn_gen + 1;
         let p =
           { p_instance = instance;
             p_module = module_name;
+            p_gen = gen;
             p_host = h;
             p_spec = spec;
             p_machine = machine;
@@ -1143,9 +1247,12 @@ let spawn_snapshot t ~of_instance ~instance ~host =
         let p_ref = ref None in
         let io = instance_io t p_ref in
         let machine = Machine.clone source.p_machine ~io in
+        let gen = t.spawn_gen in
+        t.spawn_gen <- t.spawn_gen + 1;
         let p =
           { p_instance = instance;
             p_module = source.p_module;
+            p_gen = gen;
             p_host = h;
             p_spec = source.p_spec;
             p_machine = machine;
@@ -1172,7 +1279,8 @@ let spawn_snapshot t ~of_instance ~instance ~host =
         (match Machine.status machine with
         | Machine.Ready -> schedule_quantum t p ~delay:0.0
         | Machine.Sleeping duration ->
-          Engine.schedule t.engine ~delay:duration (fun () ->
+          Engine.schedule ~label:(quantum_label t p) t.engine ~delay:duration
+            (fun () ->
               if p.p_alive then begin
                 Machine.set_ready p.p_machine;
                 schedule_quantum t p ~delay:0.0
@@ -1243,6 +1351,21 @@ let instances t =
 
 let instance_host t ~instance =
   Option.map (fun p -> p.p_host.host_name) (find_proc t instance)
+
+let instance_generation t ~instance =
+  Option.map (fun p -> p.p_gen) (find_proc t instance)
+
+(* Snapshot of an instance's input queues, sorted by interface — the
+   model checker folds this into its state fingerprint. *)
+let queue_contents t ~instance =
+  match find_proc t instance with
+  | None -> []
+  | Some p ->
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold
+         (fun iface q acc -> (iface, List.of_seq (Queue.to_seq q)) :: acc)
+         p.p_queues [])
 
 let instance_spec t ~instance =
   Option.bind (find_proc t instance) (fun p -> p.p_spec)

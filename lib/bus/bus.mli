@@ -100,6 +100,18 @@ val instances : t -> string list
 
 val instance_host : t -> instance:string -> string option
 
+val instance_generation : t -> instance:string -> int option
+(** Monotone spawn generation of the live incarnation of [instance],
+    [None] if it is not live. Virtual time can stand still across a
+    kill-and-respawn of the same name, so a timestamp cannot distinguish
+    the two incarnations; this counter can. The failure detector stamps
+    heartbeat evidence with it. *)
+
+val queue_contents : t -> instance:string -> (string * Dr_state.Value.t list) list
+(** Snapshot of the instance's input queues (interface, queued values),
+    sorted by interface name — folded into the model checker's state
+    fingerprint. *)
+
 val instance_spec : t -> instance:string -> Dr_mil.Spec.module_spec option
 
 val instance_module : t -> instance:string -> string option
@@ -281,6 +293,18 @@ val on_activity : t -> (string -> unit) option -> unit
 (** Subscribe to message-send activity: the hook is called with the
     sending instance's name on every send. Liveness evidence for
     {!Dr_reconfig.Detector}; never traces. *)
+
+type delivery_kind =
+  | Fresh     (** first enqueue of this value at a destination *)
+  | Transfer  (** requeue of an already-delivered value
+                  (a replacement's [copy_queue]) *)
+
+val set_delivery_observer :
+  t -> (dst:endpoint -> kind:delivery_kind -> Dr_state.Value.t -> unit) option -> unit
+(** Subscribe to successful input-queue enqueues, on every delivery path
+    (classic, sharded, and the reliable layer's [deliver_now]). Strictly
+    passive: never schedules, never traces. The model checker's
+    exactly-once monitor counts [Fresh] deliveries per message. *)
 
 (** {1 Image quarantine}
 

@@ -279,3 +279,11 @@ let parse_plan spec =
         | None, None -> Error (Printf.sprintf "unknown fault clause %S" clause)))
     (Ok (0, no_faults))
     clauses
+
+(* Hand the per-message fault decision to an external chooser — the
+   model checker's explorer turns every send into an explicit choice
+   point. Jitter is zero so virtual latency stays schedule-pure: the
+   explorer owns ordering, not the clock. *)
+let explorable bus ~decide =
+  Bus.set_fault_hooks bus
+    { Bus.fh_message = decide; fh_jitter = (fun () -> 0.0) }

@@ -70,3 +70,11 @@ val parse_plan : string -> (int * plan, string) result
     a crash and recover of the same host at the same instant, and a
     loss/dup rule whose scope an earlier, broader rule already covers
     (first match wins, so the later clause could never fire). *)
+
+val explorable :
+  Bus.t -> decide:(src:Bus.endpoint -> dst:Bus.endpoint -> Bus.fault_decision) -> unit
+(** Delegate every per-message fault decision to [decide] instead of the
+    seeded PRNG, with zero jitter. This is the model checker's hook:
+    each send becomes an explicit choice point owned by the explorer
+    ({!Dr_mc.Explorer}), so loss and duplication are enumerated rather
+    than sampled. *)

@@ -27,9 +27,11 @@ type params = {
   rto_initial : float;
   rto_backoff : float;
   rto_max : float;
+  retx_limit : int;
 }
 
-let default_params = { rto_initial = 4.0; rto_backoff = 2.0; rto_max = 16.0 }
+let default_params =
+  { rto_initial = 4.0; rto_backoff = 2.0; rto_max = 16.0; retx_limit = 0 }
 
 type channel = {
   mutable ch_src : Bus.endpoint;
@@ -46,6 +48,9 @@ type channel = {
   mutable ch_retx : int;
   mutable ch_retx_wait : float;
       (* virtual time spent waiting on expired retransmission timers *)
+  mutable ch_stalled_rounds : int;
+      (* consecutive timer rounds that retransmitted without the ack
+         cursor moving; bounded by [retx_limit] when set *)
   (* receiver *)
   mutable ch_next_expected : int;
   ch_ooo : (int, Dr_state.Value.t) Hashtbl.t;
@@ -85,6 +90,7 @@ let create_channel t ~src ~dst =
       ch_sent = 0;
       ch_retx = 0;
       ch_retx_wait = 0.0;
+      ch_stalled_rounds = 0;
       ch_next_expected = 0;
       ch_ooo = Hashtbl.create 8;
       ch_delivered = 0;
@@ -108,6 +114,7 @@ let on_ack t ch ~acked =
       Hashtbl.remove ch.ch_unacked seq
     done;
     ch.ch_lowest_unacked <- acked + 1;
+    ch.ch_stalled_rounds <- 0;
     if Hashtbl.length ch.ch_unacked = 0 then begin
       (* everything out is acked: disarm the timer and forget the
          backoff — the next fresh frame starts from a clean RTO *)
@@ -174,30 +181,49 @@ let rec arm_timer t ch =
   if not ch.ch_timer_armed then begin
     ch.ch_timer_armed <- true;
     let gen = ch.ch_timer_gen in
-    Engine.schedule (Bus.engine t.bus) ~delay:ch.ch_rto (fun () ->
+    let label =
+      Engine.label
+        ~touch:[ fst ch.ch_src; fst ch.ch_dst ]
+        ~info:
+          (Printf.sprintf "retx-timer %s.%s -> %s.%s" (fst ch.ch_src)
+             (snd ch.ch_src) (fst ch.ch_dst) (snd ch.ch_dst))
+        "timer"
+    in
+    Engine.schedule ~label (Bus.engine t.bus) ~delay:ch.ch_rto (fun () ->
         on_timeout t ch ~gen)
   end
 
 and on_timeout t ch ~gen =
   if gen = ch.ch_timer_gen && ch.ch_timer_armed then begin
     ch.ch_timer_armed <- false;
-    if Hashtbl.length ch.ch_unacked > 0 then begin
-      (* the expired timer ran for [ch_rto]: that whole wait is
-         retransmission backoff, attributable to the channel's
-         destination (sampled by the drain phase via the bus) *)
-      ch.ch_retx_wait <- ch.ch_retx_wait +. ch.ch_rto;
-      for seq = ch.ch_lowest_unacked to ch.ch_next_seq - 1 do
-        match Hashtbl.find_opt ch.ch_unacked seq with
-        | None -> ()
-        | Some value ->
-          ch.ch_retx <- ch.ch_retx + 1;
-          record t "retransmit on %s: seq %d (epoch %d, rto %.2f)"
-            (ep_pair ch.ch_src ch.ch_dst) seq ch.ch_epoch ch.ch_rto;
-          send_frame t ch ~seq value
-      done;
-      ch.ch_rto <- Float.min t.p.rto_max (ch.ch_rto *. t.p.rto_backoff);
-      arm_timer t ch
-    end
+    if Hashtbl.length ch.ch_unacked > 0 then
+      if t.p.retx_limit > 0 && ch.ch_stalled_rounds >= t.p.retx_limit then
+        (* retransmission budget spent without ack progress: go quiet
+           (timer stays disarmed) until a new send or an ack revives the
+           channel. Keeps the model checker's state space finite — an
+           adversary that starves the ack path can otherwise pump an
+           unbounded retransmission storm. *)
+        record t "retx limit reached on %s: %d round(s), pausing"
+          (ep_pair ch.ch_src ch.ch_dst)
+          ch.ch_stalled_rounds
+      else begin
+        (* the expired timer ran for [ch_rto]: that whole wait is
+           retransmission backoff, attributable to the channel's
+           destination (sampled by the drain phase via the bus) *)
+        ch.ch_retx_wait <- ch.ch_retx_wait +. ch.ch_rto;
+        for seq = ch.ch_lowest_unacked to ch.ch_next_seq - 1 do
+          match Hashtbl.find_opt ch.ch_unacked seq with
+          | None -> ()
+          | Some value ->
+            ch.ch_retx <- ch.ch_retx + 1;
+            record t "retransmit on %s: seq %d (epoch %d, rto %.2f)"
+              (ep_pair ch.ch_src ch.ch_dst) seq ch.ch_epoch ch.ch_rto;
+            send_frame t ch ~seq value
+        done;
+        ch.ch_stalled_rounds <- ch.ch_stalled_rounds + 1;
+        ch.ch_rto <- Float.min t.p.rto_max (ch.ch_rto *. t.p.rto_backoff);
+        arm_timer t ch
+      end
   end
 
 let send t ~src ~dst value =
@@ -213,6 +239,7 @@ let send t ~src ~dst value =
     ch.ch_next_seq <- seq + 1;
     Hashtbl.replace ch.ch_unacked seq value;
     ch.ch_sent <- ch.ch_sent + 1;
+    ch.ch_stalled_rounds <- 0;
     send_frame t ch ~seq value;
     arm_timer t ch;
     true

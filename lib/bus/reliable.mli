@@ -26,10 +26,19 @@ type params = {
   rto_initial : float;  (** first retransmission timeout *)
   rto_backoff : float;  (** multiplier per retransmission round *)
   rto_max : float;  (** backoff ceiling *)
+  retx_limit : int;
+      (** with a positive limit, a channel that has retransmitted this
+          many consecutive timer rounds without the cumulative-ack
+          cursor moving goes quiet until a new send or an ack revives
+          it; [0] (the default) retransmits forever. The model checker
+          runs with a small limit so an adversary that keeps starving
+          the ack path cannot pump an unbounded retransmission storm
+          (every in-flight copy is explorer state). *)
 }
 
 val default_params : params
-(** [rto_initial = 4.0], [rto_backoff = 2.0], [rto_max = 16.0]. *)
+(** [rto_initial = 4.0], [rto_backoff = 2.0], [rto_max = 16.0],
+    [retx_limit = 0]. *)
 
 val attach : ?params:params -> Bus.t -> t
 (** Install the layer as the bus transport. No route is reliable until

@@ -111,8 +111,19 @@ let emit_heartbeat t instance =
     in
     if not host_down then begin
       t.total_beats <- t.total_beats + 1;
+      (* Stamp the beat with the emitting incarnation's spawn generation.
+         A beat is only evidence for the incarnation that emitted it: if
+         the instance is killed and respawned under the same name within
+         one heartbeat period, a beat already in flight must not vouch
+         for the new incarnation — it would carry stale generation
+         evidence and mask a silent successor. Found by the model
+         checker (see test_mc). *)
+      let gen = Bus.instance_generation t.bus ~instance in
       Bus.transmit t.bus ~src:(instance, "hb") ~dst:monitor_endpoint (fun () ->
-          evidence t instance)
+          if Bus.instance_generation t.bus ~instance = gen then
+            evidence t instance
+          else
+            record t "%s: stale-generation heartbeat dropped" instance)
     end
 
 let check t instance w =
@@ -181,7 +192,9 @@ let rec tick t () =
     Array.iter (fun (instance, _) -> emit_heartbeat t instance) t.roster;
     let now = Bus.now t.bus in
     List.iter (fun (instance, w) -> check t instance w) (take_due t ~now);
-    Engine.schedule (Bus.engine t.bus) ~delay:t.period (tick t)
+    Engine.schedule
+      ~label:(Engine.label ~info:"detector tick" "tick")
+      (Bus.engine t.bus) ~delay:t.period (tick t)
   end
 
 let fresh_state t ~instance =
@@ -247,7 +260,9 @@ let start bus ?period ?timeout ?threshold ~watch:names () =
   in
   List.iter (fun instance -> watch t ~instance) names;
   Bus.on_activity bus (Some (fun instance -> evidence t instance));
-  Engine.schedule (Bus.engine bus) ~delay:period (tick t);
+  Engine.schedule
+    ~label:(Engine.label ~info:"detector tick" "tick")
+    (Bus.engine bus) ~delay:period (tick t);
   t
 
 let stop t =

@@ -181,7 +181,12 @@ let replace bus ?(span_kind = "replace") ?(precopy = false) ~instance
           instance n e
           (match next_host with Some h -> " on " ^ h | None -> "")
           retry.backoff;
-        Dr_sim.Engine.schedule (Bus.engine bus)
+        Dr_sim.Engine.schedule
+          ~label:
+            (Dr_sim.Engine.label
+               ~info:(Printf.sprintf "replace %s: retry" instance)
+               "ctl")
+          (Bus.engine bus)
           ~delay:(Float.max 0.0 retry.backoff)
           (fun () ->
             (* a retry scheduled before the controller died must not run
@@ -243,7 +248,18 @@ let replace bus ?(span_kind = "replace") ?(precopy = false) ~instance
       let base_info = ref None in
       let retx0 = ref 0.0 in
       let divulge image =
-        if not !settled then
+        (* A crash during the deadline rollback unwinds out of the
+           journal append before [conclude] can settle the script, so
+           [settled] alone cannot fence this continuation: without the
+           controller-down check the armed divulge would later drive
+           the forward path of a journal that is mid-rollback (found by
+           the model checker: single-replace-crash, wal-consistent). *)
+        if !settled then ()
+        else if Bus.controller_down bus then
+          record bus "replace %s: divulge ignored: controller is down"
+            instance
+        else
+          try
           (* the reliable layer's backoff accumulated against the old
              name so far; sampled before the rename hands its channels
              to the clone *)
@@ -405,6 +421,11 @@ let replace bus ?(span_kind = "replace") ?(precopy = false) ~instance
                 Journal.commit j;
                 record bus "replace %s -> %s complete" instance new_instance;
                 conclude (Ok new_instance)))
+          with Bus.Controller_crash ->
+            (* the callback runs inside the target's own quantum; a
+               crash armed on one of the divulge's journal appends must
+               kill the script, not the bystander machine *)
+            ()
       in
       let engage () =
         t0 := Bus.now bus;
@@ -451,7 +472,12 @@ let replace bus ?(span_kind = "replace") ?(precopy = false) ~instance
            crashed on the way) triggers rollback instead of spinning the
            event budget; under pre-copy it also bounds the wait for the
            first point *)
-        Dr_sim.Engine.schedule (Bus.engine bus) ~delay:window (fun () ->
+        Dr_sim.Engine.schedule
+          ~label:
+            (Dr_sim.Engine.label
+               ~info:(Printf.sprintf "replace %s: deadline" instance)
+               "ctl")
+          (Bus.engine bus) ~delay:window (fun () ->
             if (not !settled) && not (Bus.controller_down bus) then begin
               record bus "replace %s: deadline (%.1f) expired before divulge"
                 instance window;

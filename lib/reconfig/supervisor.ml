@@ -103,14 +103,18 @@ let start bus ?(period = 1.0) ?(max_restarts = 3) ?(fallback_hosts = [])
         (List.sort String.compare
            (List.of_seq (Hashtbl.to_seq_keys t.watched)));
       if Hashtbl.length t.watched > 0 then
-        Dr_sim.Engine.schedule (Bus.engine bus) ~delay:t.period tick
+        Dr_sim.Engine.schedule
+          ~label:(Dr_sim.Engine.label ~info:"supervisor tick" "tick")
+          (Bus.engine bus) ~delay:t.period tick
       else begin
         t.running <- false;
         if t.own_detector then Detector.stop t.detector
       end
     end
   in
-  Dr_sim.Engine.schedule (Bus.engine bus) ~delay:t.period tick;
+  Dr_sim.Engine.schedule
+    ~label:(Dr_sim.Engine.label ~info:"supervisor tick" "tick")
+    (Bus.engine bus) ~delay:t.period tick;
   t
 
 (* A planned replacement (e.g. a rolling wave) changed the instance

@@ -1,9 +1,38 @@
+type label = {
+  lb_kind : string;
+  lb_touch : string list;
+  lb_info : string;
+}
+
+let tau = { lb_kind = "tau"; lb_touch = []; lb_info = "" }
+
+let label ?(touch = []) ?(info = "") kind =
+  { lb_kind = kind; lb_touch = touch; lb_info = info }
+
+type mc_event = {
+  ev_seq : int;
+  ev_time : float;
+  ev_label : label;
+  ev_thunk : unit -> unit;
+}
+
+type pending_event = {
+  pe_seq : int;
+  pe_time : float;
+  pe_label : label;
+}
+
 type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
   mutable guard : exn -> bool;
+  (* Model-checking mode: when [mc_on], newly scheduled events are parked
+     in [mc_pool] (insertion order) instead of the time-ordered heap, and
+     an external explorer decides which one fires next via [mc_fire]. *)
+  mutable mc_on : bool;
+  mutable mc_pool : mc_event list;  (* newest first *)
 }
 
 let create () =
@@ -11,22 +40,32 @@ let create () =
     clock = 0.0;
     next_seq = 0;
     fired = 0;
-    guard = (fun _ -> false) }
+    guard = (fun _ -> false);
+    mc_on = false;
+    mc_pool = [] }
 
 let set_guard t guard = t.guard <- guard
 
 let now t = t.clock
 
-let schedule_at t ~time f =
+let schedule_at ?(label = tau) t ~time f =
   let time = if time < t.clock then t.clock else time in
-  Pqueue.push t.queue ~time ~seq:t.next_seq f;
-  t.next_seq <- t.next_seq + 1
+  if t.mc_on then begin
+    t.mc_pool <-
+      { ev_seq = t.next_seq; ev_time = time; ev_label = label; ev_thunk = f }
+      :: t.mc_pool;
+    t.next_seq <- t.next_seq + 1
+  end
+  else begin
+    Pqueue.push t.queue ~time ~seq:t.next_seq f;
+    t.next_seq <- t.next_seq + 1
+  end
 
-let schedule t ~delay f =
+let schedule ?label t ~delay f =
   let delay = if delay < 0.0 then 0.0 else delay in
-  schedule_at t ~time:(t.clock +. delay) f
+  schedule_at ?label t ~time:(t.clock +. delay) f
 
-let pending t = Pqueue.length t.queue
+let pending t = Pqueue.length t.queue + List.length t.mc_pool
 
 let step t =
   match Pqueue.pop t.queue with
@@ -47,3 +86,33 @@ let run ?(until = infinity) ?(max_events = max_int) t =
   loop max_events
 
 let events_fired t = t.fired
+
+(* ------------------------------------------------------------------ *)
+(* Model-checking mode                                                 *)
+
+let mc_enable t =
+  if Pqueue.length t.queue > 0 then
+    invalid_arg "Engine.mc_enable: heap not empty";
+  t.mc_on <- true
+
+let mc_enabled t = t.mc_on
+
+let mc_pending t =
+  List.rev_map
+    (fun ev -> { pe_seq = ev.ev_seq; pe_time = ev.ev_time; pe_label = ev.ev_label })
+    t.mc_pool
+
+let mc_fire t ~seq =
+  let rec split acc = function
+    | [] -> None
+    | ev :: rest when ev.ev_seq = seq -> Some (ev, List.rev_append acc rest)
+    | ev :: rest -> split (ev :: acc) rest
+  in
+  match split [] t.mc_pool with
+  | None -> false
+  | Some (ev, rest) ->
+    t.mc_pool <- rest;
+    if ev.ev_time > t.clock then t.clock <- ev.ev_time;
+    t.fired <- t.fired + 1;
+    (try ev.ev_thunk () with e when t.guard e -> ());
+    true

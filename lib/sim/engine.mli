@@ -6,20 +6,40 @@
 
 type t
 
+(** {1 Event labels}
+
+    A label classifies an event for the model checker: [lb_kind] names the
+    transition family ("quantum", "deliver", "net", "timer", "wake",
+    "ctl", ...), [lb_touch] lists the instances the event may read or
+    write — the empty list means {e global} (conservatively dependent
+    with every other event) — and [lb_info] carries a human-readable
+    payload digest for counterexample printing. Labels are inert outside
+    model-checking mode. *)
+type label = {
+  lb_kind : string;
+  lb_touch : string list;
+  lb_info : string;
+}
+
+val tau : label
+(** The default label: global touch set, no info. Sound for any event. *)
+
+val label : ?touch:string list -> ?info:string -> string -> label
+
 val create : unit -> t
 
 val now : t -> float
 (** Current virtual time. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> unit
+val schedule : ?label:label -> t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at time [now t +. delay]. Negative delays
     are clamped to zero. *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> unit
+val schedule_at : ?label:label -> t -> time:float -> (unit -> unit) -> unit
 (** Absolute-time variant. Times in the past are clamped to [now]. *)
 
 val pending : t -> int
-(** Number of events not yet fired. *)
+(** Number of events not yet fired (heap plus model-checking pool). *)
 
 val step : t -> bool
 (** Fire the single earliest event. Returns [false] when the queue is
@@ -39,3 +59,32 @@ val set_guard : t -> (exn -> bool) -> unit
     (e.g. the reconfiguration controller) dying mid-event without
     tearing down the whole simulation. A [false] return re-raises.
     Default: no exception is caught. *)
+
+(** {1 Model-checking mode}
+
+    With MC mode on, scheduled events are parked in a pool instead of the
+    time-ordered heap; [step]/[run] see an empty heap and an external
+    explorer picks the firing order with [mc_fire]. Virtual time advances
+    to [max clock ev_time] on each firing, so the clock stays monotone
+    even when events fire out of timestamp order. Enable immediately
+    after creating the bus, before any instance is deployed. *)
+
+type pending_event = {
+  pe_seq : int;    (** stable identity: replaying the same firing prefix
+                       reproduces the same sequence numbers *)
+  pe_time : float;
+  pe_label : label;
+}
+
+val mc_enable : t -> unit
+(** Divert scheduling into the MC pool. Raises [Invalid_argument] if the
+    heap already holds events. *)
+
+val mc_enabled : t -> bool
+
+val mc_pending : t -> pending_event list
+(** Schedulable transitions, in insertion order. *)
+
+val mc_fire : t -> seq:int -> bool
+(** Fire the pooled event with sequence number [seq]. Returns [false] if
+    no such event is pending. *)
